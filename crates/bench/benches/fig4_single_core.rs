@@ -1,0 +1,32 @@
+//! Criterion bench for Fig. 4: the single-core ftIMM-vs-TGEMM sweep on
+//! the timing model (measures the simulator's evaluation cost per paper
+//! panel).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftimm::{GemmShape, Strategy};
+use ftimm_bench::Harness;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4");
+    let h = Harness::new();
+    g.bench_function("headline_point_ftimm", |b| {
+        let shape = GemmShape::new(20480, 32, 20480);
+        b.iter(|| h.seconds(&shape, Strategy::Auto, 1))
+    });
+    g.bench_function("headline_point_tgemm", |b| {
+        let shape = GemmShape::new(20480, 32, 20480);
+        b.iter(|| h.tgemm_gflops(&shape, 1))
+    });
+    g.bench_function("type2_point", |b| {
+        let shape = GemmShape::new(32, 32, 65536);
+        b.iter(|| h.seconds(&shape, Strategy::Auto, 1))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

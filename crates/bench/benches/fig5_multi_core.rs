@@ -1,0 +1,45 @@
+//! Criterion bench for Fig. 5: multi-core sweep evaluation cost, and the
+//! functional (data-moving) simulation of a reduced multi-core point in
+//! both ftIMM strategies.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dspsim::{ExecMode, HwConfig, Machine};
+use ftimm::{FtImm, GemmProblem, GemmShape, Strategy};
+use ftimm_bench::Harness;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5");
+    let h = Harness::new();
+    for (name, m, n, k) in [
+        ("type1_2e16_32_32", 1usize << 16, 32usize, 32usize),
+        ("type2_32_32_2e16", 32, 32, 1 << 16),
+        ("type3_20480_32_20480", 20480, 32, 20480),
+    ] {
+        g.bench_function(format!("timing_{name}"), |b| {
+            let shape = GemmShape::new(m, n, k);
+            b.iter(|| h.seconds(&shape, Strategy::Auto, 8))
+        });
+    }
+
+    // Functional multi-core run at reduced scale (real data movement).
+    g.bench_function("functional_mpar_2048x32x256", |b| {
+        let ft = FtImm::new(HwConfig::default());
+        b.iter_batched(
+            || {
+                let mut m = Machine::with_mode(ExecMode::Fast);
+                let p = GemmProblem::alloc(&mut m, 2048, 32, 256).unwrap();
+                (m, p)
+            },
+            |(mut m, p)| ft.gemm(&mut m, &p, Strategy::MPar, 8).unwrap(),
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

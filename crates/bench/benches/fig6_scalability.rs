@@ -1,0 +1,25 @@
+//! Criterion bench for Fig. 6: scalability-curve evaluation (all three
+//! shapes × four core counts on the timing model).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftimm::{GemmShape, Strategy};
+use ftimm_bench::Harness;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6");
+    let h = Harness::new();
+    for cores in [1usize, 2, 4, 8] {
+        g.bench_function(format!("type3_{cores}core"), |b| {
+            let shape = GemmShape::new(20480, 32, 20480);
+            b.iter(|| h.seconds(&shape, Strategy::Auto, cores))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench for Fig. 7: the CPU model's prediction cost, the
+//! functional host OpenBLAS-style SGEMM on an irregular shape, and the
+//! full efficiency-comparison sweep.
+
+use cpublas::CpuConfig;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7");
+    let cfg = CpuConfig::default();
+    g.bench_function("cpu_model_predict", |b| {
+        b.iter(|| cpublas::predict(&cfg, 20480, 32, 20480))
+    });
+
+    let (m, n, k) = (2048usize, 32usize, 512usize);
+    let a = vec![1.0f32; m * k];
+    let bm = vec![1.0f32; k * n];
+    g.throughput(Throughput::Elements((m * n * k) as u64));
+    g.bench_function("host_openblas_style_2048x32x512", |b| {
+        let mut cm = vec![0.0f32; m * n];
+        b.iter(|| cpublas::sgemm(m, n, k, &a, &bm, &mut cm, 8))
+    });
+    g.bench_function("efficiency_point", |b| {
+        use ftimm::{GemmShape, Strategy};
+        let h = ftimm_bench::Harness::new();
+        let shape = GemmShape::new(20480, 32, 20480);
+        b.iter(|| {
+            let dsp = h.gflops(&shape, Strategy::Auto, 8) / h.dsp_peak_gflops();
+            let cpu = cpublas::predict(&h.cpu, shape.m, shape.n, shape.k).efficiency;
+            dsp / cpu
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench for Tables I–III: generating and rendering the three
+//! pipeline-table kernels (measures the kernel generator's end-to-end
+//! latency for the paper's regimes).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dspsim::HwConfig;
+use kernelgen::{KernelSpec, MicroKernel};
+
+fn bench(c: &mut Criterion) {
+    let cfg = HwConfig::default();
+    let mut g = c.benchmark_group("tables_i_iii");
+    for (name, n_a, m_u, k_u) in [
+        ("table1_na96", 96usize, 6usize, 1usize),
+        ("table2_na64", 64, 6, 2),
+        ("table3_na32", 32, 6, 2),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                || KernelSpec::new(6, 512, n_a).unwrap(),
+                |spec| MicroKernel::generate_forced(spec, m_u, k_u, &cfg).unwrap(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.bench_function("render_all", |b| {
+        b.iter(|| ftimm_bench::tables::render(&ftimm_bench::tables::compute()))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,8 @@
+//! Ablation study: contribution of each ftIMM mechanism.
+//! Run: `cargo run --release -p ftimm-bench --bin ablation`
+fn main() {
+    print!(
+        "{}",
+        ftimm_bench::ablation::render(&ftimm_bench::ablation::compute())
+    );
+}

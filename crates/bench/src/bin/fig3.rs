@@ -1,0 +1,5 @@
+//! Regenerates Fig. 3 of the paper. Run: `cargo run --release -p ftimm-bench --bin fig3`
+fn main() {
+    let data = ftimm_bench::fig3::compute();
+    print!("{}", ftimm_bench::fig3::render(&data));
+}

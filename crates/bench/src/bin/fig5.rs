@@ -1,0 +1,5 @@
+//! Regenerates Fig. 5 of the paper. Run: `cargo run --release -p ftimm-bench --bin fig5`
+fn main() {
+    let data = ftimm_bench::fig5::compute();
+    print!("{}", ftimm_bench::fig5::render(&data));
+}

@@ -1,0 +1,33 @@
+//! Regenerates every table and figure of the paper's evaluation in one go.
+//! Run: `cargo run --release -p ftimm-bench --bin paper`
+fn main() {
+    println!("=== ftIMM reproduction: all tables and figures ===\n");
+    print!(
+        "{}",
+        ftimm_bench::tables::render(&ftimm_bench::tables::compute())
+    );
+    print!(
+        "{}",
+        ftimm_bench::fig3::render(&ftimm_bench::fig3::compute())
+    );
+    print!(
+        "{}",
+        ftimm_bench::fig4::render(&ftimm_bench::fig4::compute())
+    );
+    print!(
+        "{}",
+        ftimm_bench::fig5::render(&ftimm_bench::fig5::compute())
+    );
+    print!(
+        "{}",
+        ftimm_bench::fig6::render(&ftimm_bench::fig6::compute())
+    );
+    print!(
+        "{}",
+        ftimm_bench::fig7::render(&ftimm_bench::fig7::compute())
+    );
+    print!(
+        "{}",
+        ftimm_bench::ablation::render(&ftimm_bench::ablation::compute())
+    );
+}

@@ -1,0 +1,73 @@
+//! Custom shape sweep: evaluate ftIMM (auto), both forced strategies and
+//! TGEMM on user-supplied shapes.
+//!
+//! Usage: `cargo run --release -p ftimm-bench --bin sweep -- M N K [M N K ...] [--cores C]`
+
+use ftimm::{GemmShape, Strategy};
+use ftimm_bench::Harness;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cores = 8usize;
+    let mut dims: Vec<usize> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--cores" {
+            cores = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| die("--cores needs a number"));
+        } else if let Ok(v) = a.parse::<usize>() {
+            dims.push(v);
+        } else {
+            die(&format!("unrecognised argument `{a}`"));
+        }
+    }
+    if dims.is_empty() {
+        dims = vec![4096, 32, 4096, 1 << 16, 32, 32, 32, 32, 1 << 16];
+        eprintln!("(no shapes given; using defaults — pass M N K triples)");
+    }
+    if !dims.len().is_multiple_of(3) {
+        die("shapes must be M N K triples");
+    }
+
+    let h = Harness::new();
+    println!(
+        "{:>20} {:>8} {:>10} {:>10} {:>10} {:>10} {:>9}",
+        "MxNxK", "type", "auto", "M-par", "K-par", "TGEMM", "best-spd"
+    );
+    for t in dims.chunks(3) {
+        let shape = GemmShape::new(t[0], t[1], t[2]);
+        let gf = |s: Strategy| {
+            let plan = h.ft.plan(&shape, s, cores);
+            shape.flops() as f64 / h.ft.predict_seconds(&shape, &plan, cores) / 1e9
+        };
+        let auto = gf(Strategy::Auto);
+        let mpar = gf(Strategy::MPar);
+        let kpar = gf(Strategy::KPar);
+        let tg = h.tgemm_gflops(&shape, cores);
+        let tag = match shape.classify() {
+            ftimm::IrregularType::TallSkinnyTimesSmall => "type-1",
+            ftimm::IrregularType::SkinnyTallTimesTallSkinny => "type-2",
+            ftimm::IrregularType::RegularTimesTallSkinny => "type-3",
+            ftimm::IrregularType::Small => "small",
+            ftimm::IrregularType::Regular => "regular",
+        };
+        println!(
+            "{:>20} {:>8} {:>9.1}G {:>9.1}G {:>9.1}G {:>9.1}G {:>8.2}x",
+            shape.to_string(),
+            tag,
+            auto,
+            mpar,
+            kpar,
+            tg,
+            auto / tg
+        );
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: sweep M N K [M N K ...] [--cores C]");
+    std::process::exit(2);
+}

@@ -1,0 +1,8 @@
+//! Workload suite evaluation (k-means, VGG-16 layers, FEM batches).
+//! Run: `cargo run --release -p ftimm-bench --bin workload_suite`
+fn main() {
+    print!(
+        "{}",
+        ftimm_bench::workload_eval::render(&ftimm_bench::workload_eval::compute())
+    );
+}

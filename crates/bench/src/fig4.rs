@@ -1,0 +1,158 @@
+//! Fig. 4 — single-core performance of ftIMM vs TGEMM on the three
+//! irregular GEMM types (paper highlights: up to 2.0× at
+//! 20480×32×20480; the N = 80 point dips below N = 64 in panels (b)/(c)
+//! because of padded lanes and smaller blocks).
+
+use crate::common::{format_table, Harness, N_SWEEP};
+use ftimm::{GemmShape, Strategy};
+
+/// One measured comparison point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// Problem shape.
+    pub shape: GemmShape,
+    /// ftIMM GFLOPS (1 core).
+    pub ftimm: f64,
+    /// TGEMM GFLOPS (1 core).
+    pub tgemm: f64,
+}
+
+impl Point {
+    /// ftIMM speedup over TGEMM.
+    pub fn speedup(&self) -> f64 {
+        self.ftimm / self.tgemm
+    }
+}
+
+/// One panel of Fig 4.
+#[derive(Debug, Clone)]
+pub struct Panel {
+    /// Label.
+    pub label: &'static str,
+    /// Points.
+    pub points: Vec<Point>,
+}
+
+/// Compute the three panels (single core).
+pub fn compute() -> Vec<Panel> {
+    let h = Harness::new();
+    let point = |m, n, k| {
+        let shape = GemmShape::new(m, n, k);
+        Point {
+            shape,
+            ftimm: h.gflops(&shape, Strategy::Auto, 1),
+            tgemm: h.tgemm_gflops(&shape, 1),
+        }
+    };
+    vec![
+        Panel {
+            label: "(a) tall-skinny × small: M=65536, N=K swept",
+            points: N_SWEEP.iter().map(|&n| point(65536, n, n)).collect(),
+        },
+        Panel {
+            label: "(b) skinny-tall × tall-skinny: K=65536, M=N swept",
+            points: N_SWEEP.iter().map(|&n| point(n, n, 65536)).collect(),
+        },
+        Panel {
+            label: "(c) regular × tall-skinny: M=K=20480, N swept",
+            points: N_SWEEP.iter().map(|&n| point(20480, n, 20480)).collect(),
+        },
+    ]
+}
+
+/// Render the panels.
+pub fn render(panels: &[Panel]) -> String {
+    let mut out = String::from("Fig. 4 — Single-core ftIMM vs TGEMM (GFLOPS)\n\n");
+    for p in panels {
+        let rows: Vec<Vec<String>> = p
+            .points
+            .iter()
+            .map(|pt| {
+                vec![
+                    pt.shape.to_string(),
+                    format!("{:.1}", pt.ftimm),
+                    format!("{:.1}", pt.tgemm),
+                    format!("{:.2}x", pt.speedup()),
+                ]
+            })
+            .collect();
+        out.push_str(&format_table(
+            p.label,
+            &["MxNxK", "ftIMM", "TGEMM", "speedup"],
+            &rows,
+        ));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    fn cached() -> &'static [Panel] {
+        static P: OnceLock<Vec<Panel>> = OnceLock::new();
+        P.get_or_init(compute)
+    }
+
+    #[test]
+    fn ftimm_wins_every_single_core_point() {
+        for p in cached() {
+            for pt in &p.points {
+                assert!(
+                    pt.speedup() > 1.0,
+                    "{}: ftIMM {} vs TGEMM {}",
+                    pt.shape,
+                    pt.ftimm,
+                    pt.tgemm
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn headline_speedup_reproduces() {
+        // Paper: 2.0× at 20480×32×20480 on one core.
+        let h = Harness::new();
+        let shape = GemmShape::new(20480, 32, 20480);
+        let s = h.gflops(&shape, Strategy::Auto, 1) / h.tgemm_gflops(&shape, 1);
+        assert!(s > 1.5 && s < 4.0, "speedup {s}");
+    }
+
+    #[test]
+    fn n80_dips_below_n64_for_type3() {
+        // Paper Fig 4(b)/(c): the padded-lane N = 80 point underperforms
+        // N = 64 for ftIMM.
+        let panels = cached();
+        let p = &panels[2];
+        let gf = |n: usize| {
+            p.points.iter().find(|pt| pt.shape.n == n).unwrap().ftimm / n as f64
+            // per-column rate isolates the lane waste
+        };
+        assert!(gf(64) > gf(80), "{} vs {}", gf(64), gf(80));
+    }
+
+    #[test]
+    fn benefit_grows_as_n_shrinks() {
+        // "The improvement is especially obvious for much lower N."
+        let panels = cached();
+        for p in panels {
+            let first = p.points.first().unwrap().speedup();
+            let last = p.points.last().unwrap().speedup();
+            assert!(
+                first > last,
+                "{}: speedup at N=16 ({first}) should exceed N=96 ({last})",
+                p.label
+            );
+        }
+    }
+
+    #[test]
+    fn render_mentions_all_shapes() {
+        let panels = cached();
+        let s = render(panels);
+        assert!(s.contains("20480x96x20480"));
+        assert!(s.contains("speedup"));
+    }
+}

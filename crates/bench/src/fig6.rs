@@ -1,0 +1,133 @@
+//! Fig. 6 — scalability of ftIMM over 1–8 DSP cores on the three
+//! irregular types at dimension 20480 (paper: sub-linear scaling because
+//! the algorithms are bandwidth-bound; the reduction-based strategy
+//! scales worst).
+
+use crate::common::{format_table, Harness};
+use ftimm::{GemmShape, Strategy};
+
+/// Scalability curve for one shape.
+#[derive(Debug, Clone)]
+pub struct Curve {
+    /// The shape.
+    pub shape: GemmShape,
+    /// Strategy label chosen by dynamic adjusting (8-core plan).
+    pub strategy: &'static str,
+    /// `(cores, speedup over 1 core)` points.
+    pub points: Vec<(usize, f64)>,
+}
+
+/// Core counts evaluated.
+pub const CORE_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// Compute the three curves.
+pub fn compute() -> Vec<Curve> {
+    let h = Harness::new();
+    [
+        GemmShape::new(20480, 32, 32),
+        GemmShape::new(32, 32, 20480),
+        GemmShape::new(20480, 32, 20480),
+    ]
+    .into_iter()
+    .map(|shape| {
+        let t1 = h.seconds(&shape, Strategy::Auto, 1);
+        let points = CORE_SWEEP
+            .iter()
+            .map(|&c| (c, t1 / h.seconds(&shape, Strategy::Auto, c)))
+            .collect();
+        Curve {
+            shape,
+            strategy: h.plan_tag(&shape, 8),
+            points,
+        }
+    })
+    .collect()
+}
+
+/// Render the curves.
+pub fn render(curves: &[Curve]) -> String {
+    let rows: Vec<Vec<String>> = curves
+        .iter()
+        .map(|c| {
+            let mut row = vec![c.shape.to_string(), c.strategy.to_string()];
+            row.extend(c.points.iter().map(|(_, s)| format!("{s:.2}x")));
+            row
+        })
+        .collect();
+    format_table(
+        "Fig. 6 — Scalability (speedup over 1 core)",
+        &["MxNxK", "strategy", "1", "2", "4", "8"],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    fn cached() -> &'static [Curve] {
+        static P: OnceLock<Vec<Curve>> = OnceLock::new();
+        P.get_or_init(compute)
+    }
+
+    #[test]
+    fn speedup_is_monotone_but_sublinear() {
+        for c in cached() {
+            let mut prev = 0.0;
+            for &(cores, s) in &c.points {
+                assert!(
+                    s >= prev * 0.999,
+                    "{}: regression at {cores} cores",
+                    c.shape
+                );
+                assert!(
+                    s <= cores as f64 + 1e-9,
+                    "{}: superlinear {s} at {cores}",
+                    c.shape
+                );
+                prev = s;
+            }
+            let (_, s8) = *c.points.last().unwrap();
+            // "The scaling efficiency is not high" — bandwidth-bound.
+            assert!(s8 < 7.0, "{}: {s8} too close to linear", c.shape);
+            assert!(s8 > 1.2, "{}: {s8} barely scales", c.shape);
+        }
+    }
+
+    #[test]
+    fn one_core_speedup_is_exactly_one() {
+        for c in cached() {
+            assert!((c.points[0].1 - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn reduction_strategy_scales_worst() {
+        // The paper attributes the worst curve to the K-parallel
+        // (reduction) strategy; verify the K-par curve trails the others.
+        let curves = cached();
+        let kpar8 = curves
+            .iter()
+            .find(|c| c.strategy == "K-par")
+            .map(|c| c.points.last().unwrap().1);
+        if let Some(kpar8) = kpar8 {
+            for c in curves {
+                if c.strategy != "K-par" {
+                    assert!(
+                        c.points.last().unwrap().1 >= kpar8 * 0.95,
+                        "{} unexpectedly below the K-par curve",
+                        c.shape
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn render_lists_all_core_counts() {
+        let s = render(cached());
+        assert!(s.contains("strategy"));
+        assert!(s.contains("20480x32x20480"));
+    }
+}

@@ -1,0 +1,174 @@
+//! The public ftIMM entry point.
+
+use crate::{
+    adjust, run_kpar, run_mpar, run_tgemm, ChosenStrategy, FtimmError, GemmProblem, GemmShape,
+    TgemmParams,
+};
+use dspsim::{ExecMode, HwConfig, Machine, RunReport};
+use kernelgen::KernelCache;
+use std::sync::Arc;
+
+/// Strategy requested by the caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Dynamic adjusting picks blocks and parallelisation (the ftIMM
+    /// default): candidate strategies are evaluated on the timing model
+    /// and the fastest wins.
+    Auto,
+    /// Rule-based selection only (§IV-C rules, no model evaluation).
+    Rules,
+    /// Force M-dimension parallelisation.
+    MPar,
+    /// Force K-dimension parallelisation.
+    KPar,
+    /// Force the traditional baseline (TGEMM).
+    TGemm,
+}
+
+/// The ftIMM library context: a kernel cache bound to a hardware
+/// configuration.
+pub struct FtImm {
+    cfg: HwConfig,
+    cache: Arc<KernelCache>,
+}
+
+impl FtImm {
+    /// Create a context for the given hardware.
+    pub fn new(cfg: HwConfig) -> Self {
+        FtImm {
+            cache: Arc::new(KernelCache::new(cfg.clone())),
+            cfg,
+        }
+    }
+
+    /// The shared kernel cache.
+    pub fn cache(&self) -> &KernelCache {
+        &self.cache
+    }
+
+    /// The hardware configuration.
+    pub fn cfg(&self) -> &HwConfig {
+        &self.cfg
+    }
+
+    /// Resolve a strategy for a shape (without running anything).
+    pub fn plan(&self, shape: &GemmShape, strategy: Strategy, cores: usize) -> ChosenStrategy {
+        match strategy {
+            Strategy::MPar => {
+                ChosenStrategy::MPar(adjust::adjust_mpar(&self.cache, &self.cfg, shape, cores))
+            }
+            Strategy::KPar => {
+                ChosenStrategy::KPar(adjust::adjust_kpar(&self.cache, &self.cfg, shape, cores))
+            }
+            Strategy::TGemm => ChosenStrategy::TGemm,
+            Strategy::Rules => adjust::choose_strategy(&self.cache, &self.cfg, shape, cores),
+            Strategy::Auto => {
+                // Evaluate the rule choice and its alternative on the
+                // timing model; keep the faster plan.  This realises the
+                // paper's "automatically choose the optimal block sizes
+                // and parallelisation strategy".  Beyond the paper: for
+                // N > 96 the M-parallel strategy (iterating 96-wide column
+                // panels) is also evaluated — TGEMM's N-parallelism leaves
+                // cores idle whenever N spans fewer chunks than cores.
+                let rule = adjust::choose_strategy(&self.cache, &self.cfg, shape, cores);
+                let alt = match rule {
+                    ChosenStrategy::MPar(_) => ChosenStrategy::KPar(adjust::adjust_kpar(
+                        &self.cache,
+                        &self.cfg,
+                        shape,
+                        cores,
+                    )),
+                    ChosenStrategy::KPar(_) | ChosenStrategy::TGemm => ChosenStrategy::MPar(
+                        adjust::adjust_mpar(&self.cache, &self.cfg, shape, cores),
+                    ),
+                };
+                let t_rule = self.predict_seconds(shape, &rule, cores);
+                let t_alt = self.predict_seconds(shape, &alt, cores);
+                if t_alt < t_rule {
+                    alt
+                } else {
+                    rule
+                }
+            }
+        }
+    }
+
+    /// Predicted execution time of a plan on the timing model.
+    pub fn predict_seconds(&self, shape: &GemmShape, plan: &ChosenStrategy, cores: usize) -> f64 {
+        let mut m = Machine::new(self.cfg.clone(), ExecMode::Timing);
+        let p = match GemmProblem::alloc(&mut m, shape.m, shape.n, shape.k) {
+            Ok(p) => p,
+            Err(_) => return f64::INFINITY,
+        };
+        let r = self.run_plan(&mut m, &p, plan, cores);
+        r.map_or(f64::INFINITY, |r| r.seconds)
+    }
+
+    /// Execute a resolved plan.
+    pub fn run_plan(
+        &self,
+        m: &mut Machine,
+        p: &GemmProblem,
+        plan: &ChosenStrategy,
+        cores: usize,
+    ) -> Result<RunReport, FtimmError> {
+        match plan {
+            ChosenStrategy::MPar(bl) => run_mpar(m, &self.cache, p, bl, cores),
+            ChosenStrategy::KPar(bl) => run_kpar(m, &self.cache, p, bl, cores),
+            ChosenStrategy::TGemm => run_tgemm(m, &self.cache, p, &TgemmParams::default(), cores),
+        }
+    }
+
+    /// `C += A × B`: plan and execute in one call.  Returns the run
+    /// report and the plan that was used.
+    pub fn gemm(
+        &self,
+        m: &mut Machine,
+        p: &GemmProblem,
+        strategy: Strategy,
+        cores: usize,
+    ) -> Result<(RunReport, ChosenStrategy), FtimmError> {
+        p.validate().map_err(FtimmError::Invalid)?;
+        let shape = GemmShape::new(p.m(), p.n(), p.k());
+        let plan = self.plan(&shape, strategy, cores);
+        let report = self.run_plan(m, p, &plan, cores)?;
+        Ok((report, plan))
+    }
+
+    /// Run TGEMM (the baseline) regardless of shape.
+    pub fn tgemm(
+        &self,
+        m: &mut Machine,
+        p: &GemmProblem,
+        cores: usize,
+    ) -> Result<RunReport, FtimmError> {
+        run_tgemm(m, &self.cache, p, &TgemmParams::default(), cores)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_is_mpar_for_type1_and_kpar_for_type2() {
+        let ft = FtImm::new(HwConfig::default());
+        let p1 = ft.plan(&GemmShape::new(1 << 16, 32, 32), Strategy::Rules, 8);
+        assert!(matches!(p1, ChosenStrategy::MPar(_)));
+        let p2 = ft.plan(&GemmShape::new(32, 32, 1 << 16), Strategy::Rules, 8);
+        assert!(matches!(p2, ChosenStrategy::KPar(_)));
+    }
+
+    #[test]
+    fn auto_plan_never_picks_a_slower_candidate() {
+        let ft = FtImm::new(HwConfig::default());
+        let shape = GemmShape::new(4096, 32, 4096);
+        let auto = ft.plan(&shape, Strategy::Auto, 8);
+        let t_auto = ft.predict_seconds(&shape, &auto, 8);
+        for s in [Strategy::MPar, Strategy::KPar] {
+            let forced = ft.plan(&shape, s, 8);
+            let t = ft.predict_seconds(&shape, &forced, 8);
+            assert!(t_auto <= t + 1e-12, "auto {t_auto}s slower than {s:?} {t}s");
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Batched small GEMMs sharing one right-hand operand — the FEM pattern
+//! from the paper's introduction (`C_e += A_e × B` for many small
+//! element matrices `A_e`).
+//!
+//! Because the element matrices are stacked contiguously, the batch is
+//! algebraically one tall-and-skinny GEMM; this module provides the
+//! batch-shaped API, plans it once, and reports per-element statistics.
+
+use crate::{FtImm, FtimmError, GemmProblem, GemmShape, Strategy};
+use dspsim::{Machine, RunReport};
+
+/// A planned batch of `count` GEMMs of `rows × cols × inner` against a
+/// shared `inner × cols` operand.
+#[derive(Debug, Clone, Copy)]
+pub struct GemmBatch {
+    /// Number of element matrices.
+    pub count: usize,
+    /// Rows per element.
+    pub rows: usize,
+    /// Shared contraction dimension.
+    pub inner: usize,
+    /// Output columns.
+    pub cols: usize,
+}
+
+/// Outcome of a batched run.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchReport {
+    /// The underlying flat-run report.
+    pub run: RunReport,
+    /// Simulated seconds per element matrix.
+    pub seconds_per_element: f64,
+}
+
+impl GemmBatch {
+    /// Construct and validate a batch descriptor.
+    pub fn new(count: usize, rows: usize, inner: usize, cols: usize) -> Result<Self, FtimmError> {
+        if count == 0 || rows == 0 || inner == 0 || cols == 0 {
+            return Err(FtimmError::Invalid("empty batch dimension".into()));
+        }
+        if cols > kernelgen::MAX_NA {
+            return Err(FtimmError::Invalid(format!(
+                "batch cols {cols} exceed the irregular-GEMM limit {}",
+                kernelgen::MAX_NA
+            )));
+        }
+        Ok(GemmBatch {
+            count,
+            rows,
+            inner,
+            cols,
+        })
+    }
+
+    /// The equivalent flat GEMM shape.
+    pub fn flat_shape(&self) -> GemmShape {
+        GemmShape::new(self.count * self.rows, self.cols, self.inner)
+    }
+
+    /// Execute the batch: `elements` is the stacked `(count·rows) × inner`
+    /// matrix, `operator` the shared `inner × cols` operand, `out` the
+    /// stacked `(count·rows) × cols` accumulator (read-modify-write).
+    #[allow(clippy::too_many_arguments)]
+    pub fn run(
+        &self,
+        ft: &FtImm,
+        machine: &mut Machine,
+        elements: &[f32],
+        operator: &[f32],
+        out: &mut [f32],
+        strategy: Strategy,
+        cores: usize,
+    ) -> Result<BatchReport, FtimmError> {
+        let shape = self.flat_shape();
+        let p = GemmProblem::alloc(machine, shape.m, shape.n, shape.k)?;
+        if machine.mode.is_functional() {
+            p.a.upload(machine, elements)?;
+            p.b.upload(machine, operator)?;
+            p.c.upload(machine, out)?;
+        }
+        let (run, _plan) = ft.gemm(machine, &p, strategy, cores)?;
+        if machine.mode.is_functional() {
+            let result = p.c.download(machine)?;
+            out.copy_from_slice(&result);
+        }
+        Ok(BatchReport {
+            run,
+            seconds_per_element: run.seconds / self.count as f64,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::{assert_close, fill_matrix, sgemm_f64};
+    use dspsim::{ExecMode, HwConfig};
+
+    #[test]
+    fn batch_equals_per_element_gemms() {
+        let batch = GemmBatch::new(50, 10, 12, 4).unwrap();
+        let shape = batch.flat_shape();
+        let ft = FtImm::new(HwConfig::default());
+        let mut machine = Machine::with_mode(ExecMode::Fast);
+        let elements = fill_matrix(shape.m * shape.k, 1);
+        let operator = fill_matrix(shape.k * shape.n, 2);
+        let mut out = vec![0.0f32; shape.m * shape.n];
+        let report = batch
+            .run(
+                &ft,
+                &mut machine,
+                &elements,
+                &operator,
+                &mut out,
+                Strategy::Auto,
+                8,
+            )
+            .unwrap();
+        let want = sgemm_f64(
+            shape.m,
+            shape.n,
+            shape.k,
+            &elements,
+            &operator,
+            &vec![0.0; shape.m * shape.n],
+        );
+        assert_close(shape.m, shape.n, &out, &want, 1e-3);
+        assert!(report.seconds_per_element > 0.0);
+        assert!((report.seconds_per_element * 50.0 - report.run.seconds).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_batches_are_rejected() {
+        assert!(GemmBatch::new(0, 4, 4, 4).is_err());
+        assert!(GemmBatch::new(4, 4, 4, 97).is_err());
+        assert!(GemmBatch::new(4, 4, 4, 96).is_ok());
+    }
+
+    #[test]
+    fn batch_classifies_as_type1_when_many_elements() {
+        let b = GemmBatch::new(10_000, 10, 10, 4).unwrap();
+        assert_eq!(
+            b.flat_shape().classify(),
+            crate::IrregularType::TallSkinnyTimesSmall
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! Library error type.
+
+use std::fmt;
+
+/// Errors from the ftIMM library.
+#[derive(Debug)]
+pub enum FtimmError {
+    /// Simulator failure (bounds, hazards, allocation).
+    Sim(dspsim::SimError),
+    /// Kernel generation failure.
+    Gen(kernelgen::GenError),
+    /// Problem-level validation failure.
+    Invalid(String),
+}
+
+impl fmt::Display for FtimmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FtimmError::Sim(e) => write!(f, "simulator error: {e}"),
+            FtimmError::Gen(e) => write!(f, "kernel generation error: {e}"),
+            FtimmError::Invalid(s) => write!(f, "invalid problem: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for FtimmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FtimmError::Sim(e) => Some(e),
+            FtimmError::Gen(e) => Some(e),
+            FtimmError::Invalid(_) => None,
+        }
+    }
+}
+
+impl From<dspsim::SimError> for FtimmError {
+    fn from(e: dspsim::SimError) -> Self {
+        FtimmError::Sim(e)
+    }
+}
+
+impl From<kernelgen::GenError> for FtimmError {
+    fn from(e: kernelgen::GenError) -> Self {
+        FtimmError::Gen(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: FtimmError = kernelgen::GenError::NaTooLarge { n_a: 100, max: 96 }.into();
+        assert!(e.to_string().contains("100"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = FtimmError::Invalid("bad".into());
+        assert!(e.to_string().contains("bad"));
+    }
+}

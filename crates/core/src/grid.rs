@@ -1,0 +1,156 @@
+//! Extension beyond the paper's evaluation: scaling one GEMM across the
+//! four GPDSP clusters of FT-m7032 (§II).  Each cluster owns a private
+//! DDR partition with its own 42.6 GB/s interface, so clusters are
+//! data-parallel with no shared state: the M dimension is partitioned,
+//! each cluster runs ftIMM on its slice, and the host CPU pays a fixed
+//! dispatch/coherency cost per cluster launch (cache write-back before
+//! launch and invalidate after, §II).
+
+use crate::{FtImm, FtimmError, GemmProblem, GemmShape, Strategy};
+use dspsim::{ExecMode, HwConfig, Machine, RunReport};
+
+/// Host-side dispatch + cache-coherency cost per cluster launch
+/// (invented, documented in DESIGN.md §6).
+pub const LAUNCH_OVERHEAD_S: f64 = 50e-6;
+
+/// A grid of independent GPDSP clusters.
+pub struct ClusterGrid {
+    /// One machine per cluster (each models a private DDR partition).
+    pub machines: Vec<Machine>,
+}
+
+/// Result of a grid run.
+#[derive(Debug, Clone)]
+pub struct GridReport {
+    /// Per-cluster reports.
+    pub per_cluster: Vec<RunReport>,
+    /// End-to-end seconds (max cluster + launch overhead).
+    pub seconds: f64,
+    /// Useful flops of the whole problem.
+    pub useful_flops: u64,
+}
+
+impl GridReport {
+    /// Aggregate GFLOPS.
+    pub fn gflops(&self) -> f64 {
+        self.useful_flops as f64 / self.seconds / 1e9
+    }
+}
+
+impl ClusterGrid {
+    /// Build a grid of `clusters` machines in the given mode.
+    pub fn new(cfg: &HwConfig, mode: ExecMode, clusters: usize) -> Self {
+        ClusterGrid {
+            machines: (0..clusters)
+                .map(|_| Machine::new(cfg.clone(), mode))
+                .collect(),
+        }
+    }
+
+    /// `C += A × B` across all clusters: M is split into contiguous
+    /// stripes, one per cluster.  Host data is row-major dense.
+    #[allow(clippy::too_many_arguments)]
+    pub fn gemm(
+        &mut self,
+        ft: &FtImm,
+        m: usize,
+        n: usize,
+        k: usize,
+        a: &[f32],
+        b: &[f32],
+        c: &mut [f32],
+        strategy: Strategy,
+        cores: usize,
+    ) -> Result<GridReport, FtimmError> {
+        let clusters = self.machines.len().max(1);
+        let stripe = m.div_ceil(clusters);
+        let mut per_cluster = Vec::new();
+        let mut worst = 0.0f64;
+        for (ci, machine) in self.machines.iter_mut().enumerate() {
+            let r0 = ci * stripe;
+            if r0 >= m {
+                break;
+            }
+            let rows = stripe.min(m - r0);
+            machine.reset_timing();
+            machine.ddr.reset_alloc();
+            let p = GemmProblem::alloc(machine, rows, n, k)?;
+            if machine.mode.is_functional() {
+                p.a.upload(machine, &a[r0 * k..(r0 + rows) * k])?;
+                p.b.upload(machine, b)?;
+                p.c.upload(machine, &c[r0 * n..(r0 + rows) * n])?;
+            }
+            let (report, _plan) = ft.gemm(machine, &p, strategy, cores)?;
+            if machine.mode.is_functional() {
+                let out = p.c.download(machine)?;
+                c[r0 * n..(r0 + rows) * n].copy_from_slice(&out);
+            }
+            worst = worst.max(report.seconds);
+            per_cluster.push(report);
+        }
+        let shape = GemmShape::new(m, n, k);
+        Ok(GridReport {
+            seconds: worst + LAUNCH_OVERHEAD_S,
+            per_cluster,
+            useful_flops: shape.flops(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::{assert_close, fill_matrix, sgemm_f64};
+
+    #[test]
+    fn grid_matches_reference_functionally() {
+        let (m, n, k) = (1000, 32, 128);
+        let ft = FtImm::new(HwConfig::default());
+        let mut grid = ClusterGrid::new(ft.cfg(), ExecMode::Fast, 4);
+        let a = fill_matrix(m * k, 1);
+        let b = fill_matrix(k * n, 2);
+        let c0 = fill_matrix(m * n, 3);
+        let mut c = c0.clone();
+        let report = grid
+            .gemm(&ft, m, n, k, &a, &b, &mut c, Strategy::Auto, 8)
+            .unwrap();
+        let want = sgemm_f64(m, n, k, &a, &b, &c0);
+        assert_close(m, n, &c, &want, 1e-3);
+        assert_eq!(report.per_cluster.len(), 4);
+        assert!(report.gflops() > 0.0);
+    }
+
+    #[test]
+    fn four_clusters_scale_type1_but_sublinearly() {
+        // Type 1 is bandwidth-bound per cluster; four private DDR
+        // partitions quadruple aggregate bandwidth.
+        let ft = FtImm::new(HwConfig::default());
+        let (m, n, k) = (1 << 20, 32, 32);
+        let run = |clusters: usize| {
+            let mut grid = ClusterGrid::new(ft.cfg(), ExecMode::Timing, clusters);
+            let mut c = Vec::new();
+            grid.gemm(&ft, m, n, k, &[], &[], &mut c, Strategy::Auto, 8)
+                .unwrap()
+                .seconds
+        };
+        let t1 = run(1);
+        let t4 = run(4);
+        let speedup = t1 / t4;
+        assert!(speedup > 2.5, "{speedup}");
+        assert!(speedup <= 4.05, "{speedup}");
+    }
+
+    #[test]
+    fn more_clusters_than_rows_is_safe() {
+        let ft = FtImm::new(HwConfig::default());
+        let mut grid = ClusterGrid::new(ft.cfg(), ExecMode::Fast, 4);
+        let (m, n, k) = (2, 8, 8);
+        let a = fill_matrix(m * k, 1);
+        let b = fill_matrix(k * n, 2);
+        let mut c = vec![0.0; m * n];
+        let report = grid
+            .gemm(&ft, m, n, k, &a, &b, &mut c, Strategy::Auto, 8)
+            .unwrap();
+        assert!(report.per_cluster.len() <= 4);
+    }
+}

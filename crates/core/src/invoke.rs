@@ -1,0 +1,108 @@
+//! Mode-dispatched micro-kernel invocation.
+//!
+//! * `Interpret`: run the generated VLIW program through the simulator's
+//!   hazard-checking interpreter (bit-exact, slow).
+//! * `Fast`: read the panels out of the simulated scratchpads, execute the
+//!   order-mirroring host kernel (bit-equal to `Interpret`), write C back,
+//!   and advance the clock by the kernel's cycle count.
+//! * `Timing`: advance the clock only.
+
+use crate::FtimmError;
+use dspsim::{ExecMode, KernelBindings, Machine};
+use kernelgen::MicroKernel;
+
+/// Execute one kernel invocation on `core` with the given buffer bindings.
+pub fn invoke_kernel(
+    m: &mut Machine,
+    core: usize,
+    kernel: &MicroKernel,
+    bind: KernelBindings,
+) -> Result<(), FtimmError> {
+    match m.mode {
+        ExecMode::Interpret => {
+            m.run_kernel(core, &kernel.program, bind, true)?;
+        }
+        ExecMode::Fast => {
+            let spec = kernel.spec;
+            let ld = spec.na_pad();
+            let mut a = vec![0.0f32; spec.m_s * spec.k_a];
+            let mut b = vec![0.0f32; spec.k_a * ld];
+            let mut c = vec![0.0f32; spec.m_s * ld];
+            {
+                let cr = m.core_mut(core);
+                cr.sm.read_f32_slice(bind.a_off, &mut a)?;
+                cr.am.read_f32_slice(bind.b_off, &mut b)?;
+                cr.am.read_f32_slice(bind.c_off, &mut c)?;
+            }
+            kernel.execute_fast(&a, &b, &mut c);
+            let cr = m.core_mut(core);
+            cr.am.write_f32_slice(bind.c_off, &c)?;
+            cr.stats.flops += kernel.program.flops();
+            cr.stats.kernel_calls += 1;
+            m.compute(core, kernel.cycles);
+        }
+        ExecMode::Timing => {
+            let cr = m.core_mut(core);
+            cr.stats.flops += kernel.program.flops();
+            cr.stats.kernel_calls += 1;
+            m.compute(core, kernel.cycles);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dspsim::HwConfig;
+    use kernelgen::{KernelCache, KernelSpec};
+
+    fn setup(mode: ExecMode) -> (Machine, std::sync::Arc<MicroKernel>, KernelBindings) {
+        let cfg = HwConfig::default();
+        let cache = KernelCache::new(cfg.clone());
+        let kernel = cache.get(KernelSpec::new(4, 16, 32).unwrap()).unwrap();
+        let mut m = Machine::new(cfg, mode);
+        if mode.is_functional() {
+            let a = crate::reference::fill_matrix(4 * 16, 1);
+            let b = crate::reference::fill_matrix(16 * 32, 2);
+            m.core_mut(0).sm.write_f32_slice(0, &a).unwrap();
+            m.core_mut(0).am.write_f32_slice(0, &b).unwrap();
+            m.core_mut(0).am.zero(8192, 4 * 32 * 4).unwrap();
+        }
+        (
+            m,
+            kernel,
+            KernelBindings {
+                a_off: 0,
+                b_off: 0,
+                c_off: 8192,
+            },
+        )
+    }
+
+    #[test]
+    fn fast_and_interpret_agree_bitwise() {
+        let (mut mi, kernel, bind) = setup(ExecMode::Interpret);
+        invoke_kernel(&mut mi, 0, &kernel, bind).unwrap();
+        let (mut mf, _, _) = setup(ExecMode::Fast);
+        invoke_kernel(&mut mf, 0, &kernel, bind).unwrap();
+        let mut ci = vec![0.0f32; 4 * 32];
+        let mut cf = vec![0.0f32; 4 * 32];
+        mi.core_mut(0).am.read_f32_slice(8192, &mut ci).unwrap();
+        mf.core_mut(0).am.read_f32_slice(8192, &mut cf).unwrap();
+        for (x, y) in ci.iter().zip(&cf) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        // Both advance the clock by the same cycles.
+        assert!((mi.core_time(0) - mf.core_time(0)).abs() < 1e-18);
+    }
+
+    #[test]
+    fn timing_mode_only_advances_clock() {
+        let (mut mt, kernel, bind) = setup(ExecMode::Timing);
+        invoke_kernel(&mut mt, 0, &kernel, bind).unwrap();
+        assert_eq!(mt.core(0).stats.kernel_calls, 1);
+        assert_eq!(mt.core(0).stats.compute_cycles, kernel.cycles);
+        assert!(mt.core_time(0) > 0.0);
+    }
+}

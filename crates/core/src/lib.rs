@@ -1,0 +1,64 @@
+//! # ftimm
+//!
+//! A reproduction of **ftIMM** — efficient irregular-shaped matrix-matrix
+//! multiplication on the multi-core DSPs of the FT-m7032 heterogeneous
+//! processor (CLUSTER 2022) — on top of the `dspsim` hardware model and
+//! the `kernelgen` micro-kernel generator.
+//!
+//! The library provides:
+//! * [`tgemm`]: the traditional fixed-block baseline (Algorithm 1);
+//! * [`mpar`]: ftIMM's M-dimension parallelisation (Algorithm 4);
+//! * [`kpar`]: ftIMM's K-dimension parallelisation with GSM reduction
+//!   (Algorithm 5);
+//! * [`adjust`]: dynamic adjusting — CMR-driven block sizes (Eq. 1–4) and
+//!   strategy selection;
+//! * [`roofline`]: the roofline bound used in the paper's Fig 5;
+//! * [`api::FtImm`]: the user-facing entry point.
+//!
+//! ```
+//! use dspsim::{ExecMode, Machine};
+//! use ftimm::{FtImm, GemmProblem, Strategy};
+//!
+//! let ft = FtImm::new(dspsim::HwConfig::default());
+//! let mut machine = Machine::with_mode(ExecMode::Fast);
+//! let p = GemmProblem::alloc(&mut machine, 512, 32, 256).unwrap();
+//! let a = ftimm::reference::fill_matrix(512 * 256, 1);
+//! let b = ftimm::reference::fill_matrix(256 * 32, 2);
+//! p.a.upload(&mut machine, &a).unwrap();
+//! p.b.upload(&mut machine, &b).unwrap();
+//! p.c.upload(&mut machine, &vec![0.0; 512 * 32]).unwrap();
+//! let (report, _plan) = ft.gemm(&mut machine, &p, Strategy::Auto, 8).unwrap();
+//! assert!(report.gflops() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adjust;
+pub mod api;
+pub mod batch;
+pub mod error;
+pub mod grid;
+pub mod invoke;
+pub mod kpar;
+pub mod matrix;
+pub mod mpar;
+pub mod reference;
+pub mod roofline;
+pub mod shape;
+pub mod tgemm;
+
+pub use adjust::{
+    adjust_kpar, adjust_mpar, choose_strategy, cmr_f1, cmr_f2, cmr_f3, cmr_f4, initial_kpar,
+    initial_mpar, ChosenStrategy,
+};
+pub use api::{FtImm, Strategy};
+pub use batch::{BatchReport, GemmBatch};
+pub use error::FtimmError;
+pub use grid::{ClusterGrid, GridReport};
+pub use invoke::invoke_kernel;
+pub use kpar::{run_kpar, KparBlocks};
+pub use matrix::{DdrMatrix, GemmProblem};
+pub use mpar::{run_mpar, MparBlocks};
+pub use shape::{GemmShape, IrregularType};
+pub use tgemm::{run_tgemm, TgemmParams};

@@ -1,0 +1,201 @@
+//! ftIMM's M-dimension parallelisation (Algorithm 4): cores split the M
+//! dimension, the `B` panel is cached in GSM and shared by all cores, and
+//! micro-kernels are generated for the *exact* `n_a` (no implicit
+//! padding).  A three-level ping-pong overlaps DDR, GSM and SM/AM traffic
+//! with compute.
+
+use crate::{invoke_kernel, FtimmError, GemmProblem};
+use dspsim::{Dma2d, DmaPath, DmaTicket, KernelBindings, Machine, RunReport};
+use kernelgen::{KernelCache, KernelSpec};
+use serde::{Deserialize, Serialize};
+
+/// Block sizes for the M-parallel strategy (§IV-C, Eq. 1–2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MparBlocks {
+    /// Columns of the GSM-cached `B_g` panel.
+    pub n_g: usize,
+    /// Depth of the `B_g` panel.
+    pub k_g: usize,
+    /// Rows per core work chunk (C panel rows in AM).
+    pub m_a: usize,
+    /// Micro-kernel width.
+    pub n_a: usize,
+    /// Micro-kernel depth (`B_a` panel rows in AM).
+    pub k_a: usize,
+    /// Micro-kernel height (`A_s` panel rows in SM).
+    pub m_s: usize,
+}
+
+/// Run `C += A × B` with the M-dimension strategy on `cores` cores.
+pub fn run_mpar(
+    m: &mut Machine,
+    cache: &KernelCache,
+    p: &GemmProblem,
+    bl: &MparBlocks,
+    cores: usize,
+) -> Result<RunReport, FtimmError> {
+    p.validate().map_err(FtimmError::Invalid)?;
+    let (mm, nn, kk) = (p.m(), p.n(), p.k());
+    let cores = cores.clamp(1, m.cfg.cores_per_cluster);
+
+    // Row chunks of m_a, round-robin over cores (Algorithm 4 line 4).
+    let chunks: Vec<usize> = (0..mm).step_by(bl.m_a).collect();
+    let active = cores.min(chunks.len()).max(1);
+    m.set_active_streams(active);
+    let core_ids: Vec<usize> = (0..cores).collect();
+
+    let pad = |n: usize| n.div_ceil(32) * 32;
+    // AM per core: C_a (m_a × pad(n_a)) + double-buffered B_a.
+    let c_a_off = 0u64;
+    let c_a_bytes = (bl.m_a * pad(bl.n_a) * 4) as u64;
+    let b_a_bytes = (bl.k_a * pad(bl.n_a) * 4) as u64;
+    let b_a_off = [c_a_bytes, c_a_bytes + b_a_bytes];
+    // SM per core: double-buffered A_s.
+    let a_s_off = [0u64, (bl.m_s * bl.k_a * 4) as u64];
+    // GSM: double-buffered B_g (k_g × n_g, dense).
+    let b_g_bytes = (bl.k_g * bl.n_g * 4) as u64;
+
+    // B_g panel sequence for prefetching.
+    let panels: Vec<(usize, usize)> = (0..nn)
+        .step_by(bl.n_g)
+        .flat_map(|i| (0..kk).step_by(bl.k_g).map(move |j| (i, j)))
+        .collect();
+    let dma_bg = |m: &mut Machine, (i, j): (usize, usize), ping: usize| {
+        let n_gcur = bl.n_g.min(nn - i);
+        let k_gcur = bl.k_g.min(kk - j);
+        m.dma(
+            0,
+            DmaPath::DdrToGsm,
+            &Dma2d::block_f32(
+                k_gcur as u64,
+                n_gcur as u64,
+                p.b.elem_index(j, i),
+                p.b.ld as u64,
+                ping as u64 * b_g_bytes / 4,
+                n_gcur as u64,
+            ),
+        )
+    };
+
+    let mut bg_ticket = dma_bg(m, panels[0], 0)?;
+    for (pi, &(i, j)) in panels.iter().enumerate() {
+        let ping = pi % 2;
+        let n_gcur = bl.n_g.min(nn - i);
+        let k_gcur = bl.k_g.min(kk - j);
+        m.barrier(&core_ids);
+        for &c in &core_ids {
+            m.wait(c, bg_ticket);
+        }
+        if pi + 1 < panels.len() {
+            bg_ticket = dma_bg(m, panels[pi + 1], (pi + 1) % 2)?;
+        }
+
+        for (ci, &t) in chunks.iter().enumerate() {
+            let core = ci % cores;
+            let m_acur = bl.m_a.min(mm - t);
+            for ii in (0..n_gcur).step_by(bl.n_a) {
+                let n_acur = bl.n_a.min(n_gcur - ii);
+                let ld_cur = pad(n_acur) as u64;
+                // Load the C panel for accumulation (Algorithm 4 line 6).
+                let tc = m.dma(
+                    core,
+                    DmaPath::DdrToAm,
+                    &Dma2d::block_f32(
+                        m_acur as u64,
+                        n_acur as u64,
+                        p.c.elem_index(t, i + ii),
+                        p.c.ld as u64,
+                        c_a_off / 4,
+                        ld_cur,
+                    ),
+                )?;
+                m.wait(core, tc);
+
+                let k_blocks: Vec<usize> = (0..k_gcur).step_by(bl.k_a).collect();
+                let dma_ba =
+                    |m: &mut Machine, jj: usize, bping: usize| -> Result<DmaTicket, FtimmError> {
+                        let k_acur = bl.k_a.min(k_gcur - jj);
+                        Ok(m.dma(
+                            core,
+                            DmaPath::GsmToAm,
+                            &Dma2d::block_f32(
+                                k_acur as u64,
+                                n_acur as u64,
+                                (ping as u64 * b_g_bytes) / 4 + (jj * n_gcur + ii) as u64,
+                                n_gcur as u64,
+                                b_a_off[bping] / 4,
+                                ld_cur,
+                            ),
+                        )?)
+                    };
+                let mut ba_ticket = dma_ba(m, k_blocks[0], 0)?;
+                for (ki, &jj) in k_blocks.iter().enumerate() {
+                    let bping = ki % 2;
+                    let k_acur = bl.k_a.min(k_gcur - jj);
+                    m.wait(core, ba_ticket);
+                    if ki + 1 < k_blocks.len() {
+                        ba_ticket = dma_ba(m, k_blocks[ki + 1], (ki + 1) % 2)?;
+                    }
+
+                    let row_blocks: Vec<usize> = (0..m_acur).step_by(bl.m_s).collect();
+                    let dma_as = |m: &mut Machine,
+                                  tt: usize,
+                                  sping: usize|
+                     -> Result<DmaTicket, FtimmError> {
+                        let ms_cur = bl.m_s.min(m_acur - tt);
+                        Ok(m.dma(
+                            core,
+                            DmaPath::DdrToSm,
+                            &Dma2d::block_f32(
+                                ms_cur as u64,
+                                k_acur as u64,
+                                p.a.elem_index(t + tt, j + jj),
+                                p.a.ld as u64,
+                                a_s_off[sping] / 4,
+                                k_acur as u64,
+                            ),
+                        )?)
+                    };
+                    let mut as_ticket = dma_as(m, row_blocks[0], 0)?;
+                    for (ri, &tt) in row_blocks.iter().enumerate() {
+                        let sping = ri % 2;
+                        let ms_cur = bl.m_s.min(m_acur - tt);
+                        m.wait(core, as_ticket);
+                        if ri + 1 < row_blocks.len() {
+                            as_ticket = dma_as(m, row_blocks[ri + 1], (ri + 1) % 2)?;
+                        }
+                        // ftIMM: exact-shape auto-generated kernel.
+                        let spec = KernelSpec::new(ms_cur, k_acur, n_acur)?;
+                        let kernel = cache.get(spec)?;
+                        invoke_kernel(
+                            m,
+                            core,
+                            &kernel,
+                            KernelBindings {
+                                a_off: a_s_off[sping],
+                                b_off: b_a_off[bping],
+                                c_off: c_a_off + (tt as u64 * ld_cur * 4),
+                            },
+                        )?;
+                    }
+                }
+                // Store the C panel (Algorithm 4 line 12).
+                let ts = m.dma(
+                    core,
+                    DmaPath::AmToDdr,
+                    &Dma2d::block_f32(
+                        m_acur as u64,
+                        n_acur as u64,
+                        c_a_off / 4,
+                        ld_cur,
+                        p.c.elem_index(t, i + ii),
+                        p.c.ld as u64,
+                    ),
+                )?;
+                m.wait(core, ts);
+            }
+        }
+    }
+    m.barrier(&core_ids);
+    Ok(m.report(p.flops(), &core_ids))
+}

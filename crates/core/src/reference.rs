@@ -1,0 +1,106 @@
+//! Host-side reference GEMMs used to validate the simulated library.
+
+/// Naive `c += a × b` in f32 (row-major, dense).
+pub fn sgemm_naive(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert!(a.len() >= m * k && b.len() >= k * n && c.len() >= m * n);
+    for i in 0..m {
+        for kk in 0..k {
+            let aik = a[i * k + kk];
+            let brow = &b[kk * n..kk * n + n];
+            let crow = &mut c[i * n..i * n + n];
+            for j in 0..n {
+                crow[j] += aik * brow[j];
+            }
+        }
+    }
+}
+
+/// `c += a × b` accumulated in f64 (accuracy oracle).
+pub fn sgemm_f64(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &[f32]) -> Vec<f64> {
+    let mut out = vec![0.0f64; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = c[i * n + j] as f64;
+            for kk in 0..k {
+                acc += a[i * k + kk] as f64 * b[kk * n + j] as f64;
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    out
+}
+
+/// Assert an f32 result is within a mixed absolute/relative tolerance of
+/// the f64 oracle; panics with the first offending element.
+pub fn assert_close(m: usize, n: usize, got: &[f32], want: &[f64], rel: f64) {
+    for i in 0..m {
+        for j in 0..n {
+            let g = got[i * n + j] as f64;
+            let w = want[i * n + j];
+            let tol = rel * w.abs().max(1.0);
+            assert!(
+                (g - w).abs() <= tol,
+                "({i},{j}): got {g}, want {w} (tol {tol})"
+            );
+        }
+    }
+}
+
+/// Deterministic pseudo-random matrix filler (no `rand` dependency in the
+/// core crate; workloads use proper RNGs).
+pub fn fill_matrix(len: usize, seed: u32) -> Vec<f32> {
+    (0..len)
+        .map(|i| {
+            let x = (i as u32)
+                .wrapping_mul(2654435761)
+                .wrapping_add(seed.wrapping_mul(0x9E3779B9));
+            let x = x ^ (x >> 15);
+            ((x % 4001) as f32 - 2000.0) / 256.0
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_matches_f64_on_small_input() {
+        let (m, n, k) = (3, 4, 5);
+        let a = fill_matrix(m * k, 1);
+        let b = fill_matrix(k * n, 2);
+        let c0 = fill_matrix(m * n, 3);
+        let mut c = c0.clone();
+        sgemm_naive(m, n, k, &a, &b, &mut c);
+        let want = sgemm_f64(m, n, k, &a, &b, &c0);
+        assert_close(m, n, &c, &want, 1e-5);
+    }
+
+    #[test]
+    fn identity_times_b_is_b() {
+        let n = 4;
+        let mut a = vec![0.0f32; n * n];
+        for i in 0..n {
+            a[i * n + i] = 1.0;
+        }
+        let b = fill_matrix(n * n, 9);
+        let mut c = vec![0.0f32; n * n];
+        sgemm_naive(n, n, n, &a, &b, &mut c);
+        assert_eq!(c, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "(0,0)")]
+    fn assert_close_catches_errors() {
+        assert_close(1, 1, &[2.0], &[1.0], 1e-6);
+    }
+
+    #[test]
+    fn fill_matrix_is_deterministic_and_bounded() {
+        let a = fill_matrix(100, 7);
+        let b = fill_matrix(100, 7);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|x| x.abs() <= 8.0));
+        assert_ne!(fill_matrix(100, 8), a);
+    }
+}

@@ -1,0 +1,75 @@
+//! Roofline model for a GPDSP cluster (used as the "maximum performance"
+//! line in Fig 5 of the paper).
+
+use crate::GemmShape;
+use dspsim::HwConfig;
+
+/// Bytes a GEMM must move across DDR at minimum: read A and B once, read
+/// and write C once (the `C += A×B` contract).
+pub fn min_ddr_bytes(shape: &GemmShape) -> u64 {
+    4 * (shape.m as u64 * shape.k as u64
+        + shape.k as u64 * shape.n as u64
+        + 2 * shape.m as u64 * shape.n as u64)
+}
+
+/// Arithmetic intensity in flops per DDR byte.
+pub fn arithmetic_intensity(shape: &GemmShape) -> f64 {
+    shape.flops() as f64 / min_ddr_bytes(shape) as f64
+}
+
+/// Roofline-bounded performance (flop/s) for the given number of cores,
+/// using the *theoretical* DDR bandwidth (as the paper does; achieved
+/// performance is capped lower by the real bandwidth).
+pub fn roofline_flops(cfg: &HwConfig, shape: &GemmShape, cores: usize) -> f64 {
+    let peak = cfg.core_peak_flops() * cores as f64;
+    let bw_bound = arithmetic_intensity(shape) * cfg.ddr_bw;
+    peak.min(bw_bound)
+}
+
+/// Roofline GFLOPS convenience wrapper.
+pub fn roofline_gflops(cfg: &HwConfig, shape: &GemmShape, cores: usize) -> f64 {
+    roofline_flops(cfg, shape, cores) / 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_bytes_counts_c_twice() {
+        let s = GemmShape::new(10, 20, 30);
+        assert_eq!(min_ddr_bytes(&s), 4 * (300 + 600 + 400));
+    }
+
+    #[test]
+    fn skinny_shapes_are_bandwidth_bound() {
+        let cfg = HwConfig::default();
+        // Type 1 with tiny K: AI ≈ 2·K/…, far below the machine balance.
+        let s = GemmShape::new(1 << 20, 32, 32);
+        let r = roofline_flops(&cfg, &s, 8);
+        assert!(r < cfg.cluster_peak_flops());
+        assert!(r > 0.0);
+        // More cores do not lift a bandwidth-bound roofline.
+        assert_eq!(r, roofline_flops(&cfg, &s, 4).max(r.min(r)));
+    }
+
+    #[test]
+    fn compute_bound_when_all_dims_large() {
+        let cfg = HwConfig::default();
+        let s = GemmShape::new(20480, 96, 20480);
+        // AI = 2MNK / 4(MK + KN + 2MN) ≈ 46 flops/byte ⇒ 42.6 GB/s × 46
+        // ≈ 1.96 TFLOPS < 2.76 TFLOPS peak: still bandwidth-limited on 8
+        // cores, compute-bound on 4.
+        let r8 = roofline_flops(&cfg, &s, 8);
+        assert!(r8 < cfg.cluster_peak_flops());
+        let r1 = roofline_flops(&cfg, &s, 1);
+        assert_eq!(r1, cfg.core_peak_flops());
+    }
+
+    #[test]
+    fn intensity_grows_with_n() {
+        let a = arithmetic_intensity(&GemmShape::new(4096, 16, 4096));
+        let b = arithmetic_intensity(&GemmShape::new(4096, 96, 4096));
+        assert!(b > a);
+    }
+}

@@ -1,0 +1,194 @@
+//! TGEMM — the traditional regular-shaped GEMM implementation for
+//! multi-core DSPs (Algorithm 1 of the paper, after [Ma et al., Liu &
+//! Tian]): fixed block sizes, a single fixed micro-kernel padded to
+//! `n_a = 96`, and N-dimension multi-core parallelisation.
+//!
+//! This is the baseline ftIMM is compared against in Figs 4–5.
+
+use crate::{invoke_kernel, FtimmError, GemmProblem};
+use dspsim::{Dma2d, DmaPath, DmaTicket, KernelBindings, Machine, RunReport};
+use kernelgen::{KernelCache, KernelSpec};
+
+/// TGEMM's fixed blocking (Algorithm 1, line 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TgemmParams {
+    /// Rows of the `A_g` panel cached in GSM.
+    pub m_g: usize,
+    /// Depth of the `A_g` panel.
+    pub k_g: usize,
+    /// Fixed micro-kernel width (always padded to this).
+    pub n_a: usize,
+    /// Micro-kernel height.
+    pub m_s: usize,
+}
+
+impl Default for TgemmParams {
+    fn default() -> Self {
+        TgemmParams {
+            m_g: 512,
+            k_g: 512,
+            n_a: 96,
+            m_s: 6,
+        }
+    }
+}
+
+/// Run `C += A × B` with TGEMM on `cores` DSP cores.
+pub fn run_tgemm(
+    m: &mut Machine,
+    cache: &KernelCache,
+    p: &GemmProblem,
+    params: &TgemmParams,
+    cores: usize,
+) -> Result<RunReport, FtimmError> {
+    p.validate().map_err(FtimmError::Invalid)?;
+    let (mm, nn, kk) = (p.m(), p.n(), p.k());
+    let tp = *params;
+    let cores = cores.clamp(1, m.cfg.cores_per_cluster);
+
+    // Column chunks of n_a, assigned round-robin over cores (Algorithm 1
+    // line 5: the parallel loop over t).
+    let chunks: Vec<usize> = (0..nn).step_by(tp.n_a).collect();
+    let active = cores.min(chunks.len()).max(1);
+    m.set_active_streams(active);
+
+    // GSM: double-buffered A_g panel.
+    let a_g_bytes = (tp.m_g * tp.k_g * 4) as u64;
+    // AM per core: C_a (m_g × 96) + double-buffered B_a (k_g × 96).
+    let c_a_off = 0u64;
+    let c_a_bytes = (tp.m_g * tp.n_a * 4) as u64;
+    let b_a_off = [c_a_bytes, c_a_bytes + (tp.k_g * tp.n_a * 4) as u64];
+    // SM per core: double-buffered A_s (m_s × k_g).
+    let a_s_off = [0u64, (tp.m_s * tp.k_g * 4) as u64];
+
+    // Panel sequence for A_g prefetching: all (i, j) pairs in loop order.
+    let panels: Vec<(usize, usize)> = (0..mm)
+        .step_by(tp.m_g)
+        .flat_map(|i| (0..kk).step_by(tp.k_g).map(move |j| (i, j)))
+        .collect();
+
+    let core_ids: Vec<usize> = (0..cores).collect();
+    let dma_ag = |m: &mut Machine, (i, j): (usize, usize), ping: usize| {
+        let m_cur = tp.m_g.min(mm - i);
+        let k_cur = tp.k_g.min(kk - j);
+        m.dma(
+            0,
+            DmaPath::DdrToGsm,
+            &Dma2d::block_f32(
+                m_cur as u64,
+                k_cur as u64,
+                p.a.elem_index(i, j),
+                p.a.ld as u64,
+                ping as u64 * a_g_bytes / 4,
+                k_cur as u64,
+            ),
+        )
+    };
+
+    let mut ag_ticket = dma_ag(m, panels[0], 0)?;
+    for (pi, &(i, j)) in panels.iter().enumerate() {
+        let ping = pi % 2;
+        let m_cur = tp.m_g.min(mm - i);
+        let k_cur = tp.k_g.min(kk - j);
+        // All cores wait for this A_g panel, then core 0's engine prefetches
+        // the next one while everyone computes.
+        m.barrier(&core_ids);
+        for &c in &core_ids {
+            m.wait(c, ag_ticket);
+        }
+        if pi + 1 < panels.len() {
+            ag_ticket = dma_ag(m, panels[pi + 1], (pi + 1) % 2)?;
+        }
+
+        for (ci, &t) in chunks.iter().enumerate() {
+            let core = ci % cores;
+            let n_cur = tp.n_a.min(nn - t);
+            // B_a: only the real n_cur columns are transferred, but the
+            // panel is stored (and computed) at the fixed width 96 —
+            // TGEMM's implicit padding.
+            let tb = m.dma(
+                core,
+                DmaPath::DdrToAm,
+                &Dma2d::block_f32(
+                    k_cur as u64,
+                    n_cur as u64,
+                    p.b.elem_index(j, t),
+                    p.b.ld as u64,
+                    b_a_off[ping] / 4,
+                    tp.n_a as u64,
+                ),
+            )?;
+            let tc = m.dma(
+                core,
+                DmaPath::DdrToAm,
+                &Dma2d::block_f32(
+                    m_cur as u64,
+                    n_cur as u64,
+                    p.c.elem_index(i, t),
+                    p.c.ld as u64,
+                    c_a_off / 4,
+                    tp.n_a as u64,
+                ),
+            )?;
+            m.wait(core, tb);
+            m.wait(core, tc);
+
+            // Inner loop over m_s rows of A_g, ping-ponged through SM.
+            let row_blocks: Vec<usize> = (0..m_cur).step_by(tp.m_s).collect();
+            let dma_as =
+                |m: &mut Machine, ii: usize, sping: usize| -> Result<DmaTicket, FtimmError> {
+                    let ms_cur = tp.m_s.min(m_cur - ii);
+                    Ok(m.dma(
+                        core,
+                        DmaPath::GsmToSm,
+                        &Dma2d::block_f32(
+                            ms_cur as u64,
+                            k_cur as u64,
+                            (ping as u64 * a_g_bytes + (ii * k_cur * 4) as u64) / 4,
+                            k_cur as u64,
+                            a_s_off[sping] / 4,
+                            k_cur as u64,
+                        ),
+                    )?)
+                };
+            let mut as_ticket = dma_as(m, row_blocks[0], 0)?;
+            for (ri, &ii) in row_blocks.iter().enumerate() {
+                let sping = ri % 2;
+                let ms_cur = tp.m_s.min(m_cur - ii);
+                m.wait(core, as_ticket);
+                if ri + 1 < row_blocks.len() {
+                    as_ticket = dma_as(m, row_blocks[ri + 1], (ri + 1) % 2)?;
+                }
+                // TGEMM's single micro-kernel: always n_a = 96 wide.
+                let spec = KernelSpec::new(ms_cur, k_cur, tp.n_a)?;
+                let kernel = cache.get_forced(spec, ms_cur.min(tp.m_s), 1)?;
+                invoke_kernel(
+                    m,
+                    core,
+                    &kernel,
+                    KernelBindings {
+                        a_off: a_s_off[sping],
+                        b_off: b_a_off[ping],
+                        c_off: c_a_off + (ii * tp.n_a * 4) as u64,
+                    },
+                )?;
+            }
+            // Write C back (only the real columns).
+            let ts = m.dma(
+                core,
+                DmaPath::AmToDdr,
+                &Dma2d::block_f32(
+                    m_cur as u64,
+                    n_cur as u64,
+                    c_a_off / 4,
+                    tp.n_a as u64,
+                    p.c.elem_index(i, t),
+                    p.c.ld as u64,
+                ),
+            )?;
+            m.wait(core, ts);
+        }
+    }
+    m.barrier(&core_ids);
+    Ok(m.report(p.flops(), &core_ids))
+}

@@ -1,0 +1,227 @@
+//! A functional OpenBLAS-style blocked SGEMM on the host: Goto-algorithm
+//! blocking (pack A block / B panel, MR×NR register kernel) with threads
+//! splitting the M dimension — the baseline implementation the
+//! performance model in [`crate::model`] describes.
+
+const MC: usize = 256;
+const KC: usize = 256;
+const NC: usize = 2048;
+const MR: usize = 8;
+const NR: usize = 8;
+
+/// Threaded `c += a × b` (row-major, dense `M×K`, `K×N`, `M×N`).
+pub fn sgemm(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32], threads: usize) {
+    assert!(a.len() >= m * k && b.len() >= k * n && c.len() >= m * n);
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let threads = threads.clamp(1, m.div_ceil(MR)).min(64);
+    if threads == 1 {
+        sgemm_single(m, n, k, a, k, b, n, c, n);
+        return;
+    }
+    // Split M into thread chunks of whole MR multiples.
+    let rows_per = m.div_ceil(threads).div_ceil(MR) * MR;
+    let chunks: Vec<(usize, usize)> = (0..m)
+        .step_by(rows_per)
+        .map(|r0| (r0, rows_per.min(m - r0)))
+        .collect();
+    std::thread::scope(|scope| {
+        let mut rest = &mut c[..];
+        let mut consumed = 0usize;
+        for &(r0, rows) in &chunks {
+            let (head, tail) = rest.split_at_mut((r0 - consumed) * n + rows * n);
+            let my_c = &mut head[(r0 - consumed) * n..];
+            consumed = r0 + rows;
+            rest = tail;
+            let a = &a[r0 * k..];
+            scope.spawn(move || {
+                sgemm_single(rows, n, k, a, k, b, n, my_c, n);
+            });
+        }
+    });
+}
+
+/// Single-threaded Goto-blocked SGEMM with explicit packing.
+#[allow(clippy::too_many_arguments)]
+pub fn sgemm_single(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    c: &mut [f32],
+    ldc: usize,
+) {
+    let mut a_pack = vec![0.0f32; MC * KC];
+    let mut b_pack = vec![0.0f32; KC * NC];
+    for jc in (0..n).step_by(NC) {
+        let nc = NC.min(n - jc);
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            pack_b(kc, nc, &b[pc * ldb + jc..], ldb, &mut b_pack);
+            for ic in (0..m).step_by(MC) {
+                let mc = MC.min(m - ic);
+                pack_a(mc, kc, &a[ic * lda + pc..], lda, &mut a_pack);
+                macro_block(mc, nc, kc, &a_pack, &b_pack, &mut c[ic * ldc + jc..], ldc);
+            }
+        }
+    }
+}
+
+/// Pack `mc × kc` of A into MR-row panels (column-major within panel).
+fn pack_a(mc: usize, kc: usize, a: &[f32], lda: usize, out: &mut [f32]) {
+    let mut idx = 0;
+    for ir in (0..mc).step_by(MR) {
+        let rows = MR.min(mc - ir);
+        for p in 0..kc {
+            for r in 0..MR {
+                out[idx] = if r < rows { a[(ir + r) * lda + p] } else { 0.0 };
+                idx += 1;
+            }
+        }
+    }
+}
+
+/// Pack `kc × nc` of B into NR-column panels.
+fn pack_b(kc: usize, nc: usize, b: &[f32], ldb: usize, out: &mut [f32]) {
+    let mut idx = 0;
+    for jr in (0..nc).step_by(NR) {
+        let cols = NR.min(nc - jr);
+        for p in 0..kc {
+            for col in 0..NR {
+                out[idx] = if col < cols {
+                    b[p * ldb + jr + col]
+                } else {
+                    0.0
+                };
+                idx += 1;
+            }
+        }
+    }
+}
+
+fn macro_block(
+    mc: usize,
+    nc: usize,
+    kc: usize,
+    a_pack: &[f32],
+    b_pack: &[f32],
+    c: &mut [f32],
+    ldc: usize,
+) {
+    for (jp, jr) in (0..nc).step_by(NR).enumerate() {
+        let cols = NR.min(nc - jr);
+        let bp = &b_pack[jp * kc * NR..];
+        for (ip, ir) in (0..mc).step_by(MR).enumerate() {
+            let rows = MR.min(mc - ir);
+            let ap = &a_pack[ip * kc * MR..];
+            micro_kernel(kc, ap, bp, rows, cols, &mut c[ir * ldc + jr..], ldc);
+        }
+    }
+}
+
+/// The MR×NR register kernel on packed panels.
+fn micro_kernel(
+    kc: usize,
+    ap: &[f32],
+    bp: &[f32],
+    rows: usize,
+    cols: usize,
+    c: &mut [f32],
+    ldc: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for p in 0..kc {
+        let av = &ap[p * MR..p * MR + MR];
+        let bv = &bp[p * NR..p * NR + NR];
+        for r in 0..MR {
+            for col in 0..NR {
+                acc[r][col] = av[r].mul_add(bv[col], acc[r][col]);
+            }
+        }
+    }
+    for r in 0..rows {
+        for col in 0..cols {
+            c[r * ldc + col] += acc[r][col];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(n: usize, seed: u32) -> Vec<f32> {
+        (0..n)
+            .map(|i| {
+                let x = (i as u32).wrapping_mul(2654435761).wrapping_add(seed);
+                ((x % 701) as f32 - 350.0) / 32.0
+            })
+            .collect()
+    }
+
+    fn check(m: usize, n: usize, k: usize, threads: usize) {
+        let a = fill(m * k, 1);
+        let b = fill(k * n, 2);
+        let c0 = fill(m * n, 3);
+        let mut c = c0.clone();
+        sgemm(m, n, k, &a, &b, &mut c, threads);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = c0[i * n + j] as f64;
+                for p in 0..k {
+                    acc += a[i * k + p] as f64 * b[p * n + j] as f64;
+                }
+                let got = c[i * n + j] as f64;
+                let tol = 1e-3 * acc.abs().max(1.0);
+                assert!((got - acc).abs() <= tol, "({i},{j}) {got} vs {acc}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_block_multiples() {
+        check(64, 64, 64, 1);
+        check(256, 256, 256, 4);
+    }
+
+    #[test]
+    fn ragged_edges() {
+        check(33, 7, 19, 2);
+        check(5, 3, 2, 1);
+        check(130, 97, 259, 8);
+    }
+
+    #[test]
+    fn irregular_paper_shapes() {
+        check(2048, 32, 32, 8); // type 1
+        check(32, 32, 2048, 8); // type 2
+        check(512, 32, 512, 8); // type 3 (reduced)
+    }
+
+    #[test]
+    fn thread_counts_agree() {
+        let (m, n, k) = (200, 40, 120);
+        let a = fill(m * k, 4);
+        let b = fill(k * n, 5);
+        let mut c1 = vec![0.0f32; m * n];
+        let mut c8 = vec![0.0f32; m * n];
+        sgemm(m, n, k, &a, &b, &mut c1, 1);
+        sgemm(m, n, k, &a, &b, &mut c8, 8);
+        // Threads partition M, so the accumulation order per element is
+        // unchanged: results are bit-identical.
+        for (x, y) in c1.iter().zip(&c8) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn empty_dims_are_noops() {
+        let mut c = vec![1.0f32; 4];
+        sgemm(0, 2, 2, &[], &[1.0; 4], &mut c, 4);
+        assert_eq!(c, vec![1.0; 4]);
+    }
+}

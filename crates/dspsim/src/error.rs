@@ -1,0 +1,126 @@
+//! Simulator error type.
+
+use std::fmt;
+
+/// Errors raised by the simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// An access fell outside a memory region.
+    OutOfBounds {
+        /// Region name ("SM", "AM", "GSM", "DDR").
+        region: &'static str,
+        /// Byte offset of the access.
+        offset: u64,
+        /// Access length in bytes.
+        len: u64,
+        /// Region capacity in bytes.
+        capacity: u64,
+    },
+    /// A register was read before its producing instruction's latency
+    /// elapsed (the generated schedule has a hazard).
+    Hazard {
+        /// Register name (`R7` / `V12`).
+        register: String,
+        /// Cycle of the offending read.
+        read_cycle: u64,
+        /// First cycle the value is architecturally ready.
+        ready_cycle: u64,
+        /// Mnemonic of the reading instruction.
+        mnemonic: &'static str,
+    },
+    /// An instruction the interpreter cannot execute in this context
+    /// (e.g. a kernel touching a space with no bound buffer).
+    BadBinding {
+        /// Description of what was missing.
+        detail: String,
+    },
+    /// A bump allocation exceeded the region capacity.
+    AllocFailure {
+        /// Region name.
+        region: &'static str,
+        /// Requested bytes.
+        requested: u64,
+        /// Remaining bytes.
+        available: u64,
+    },
+    /// ISA-level validation error surfaced during execution.
+    Isa(ftimm_isa::IsaError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::OutOfBounds {
+                region,
+                offset,
+                len,
+                capacity,
+            } => write!(
+                f,
+                "access [{offset}, {}) out of bounds for {region} (capacity {capacity})",
+                offset + len
+            ),
+            SimError::Hazard {
+                register,
+                read_cycle,
+                ready_cycle,
+                mnemonic,
+            } => write!(
+                f,
+                "hazard: {mnemonic} reads {register} in cycle {read_cycle} but it is ready in \
+                 cycle {ready_cycle}"
+            ),
+            SimError::BadBinding { detail } => write!(f, "bad binding: {detail}"),
+            SimError::AllocFailure {
+                region,
+                requested,
+                available,
+            } => write!(
+                f,
+                "allocation of {requested} B failed in {region} ({available} B free)"
+            ),
+            SimError::Isa(e) => write!(f, "isa error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Isa(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ftimm_isa::IsaError> for SimError {
+    fn from(e: ftimm_isa::IsaError) -> Self {
+        SimError::Isa(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::Hazard {
+            register: "V3".into(),
+            read_cycle: 10,
+            ready_cycle: 12,
+            mnemonic: "VFMULAS32",
+        };
+        let s = e.to_string();
+        assert!(s.contains("V3"));
+        assert!(s.contains("cycle 10"));
+        assert!(s.contains("cycle 12"));
+    }
+
+    #[test]
+    fn isa_errors_convert() {
+        let e: SimError = ftimm_isa::IsaError::BadLoopLevel(9).into();
+        assert!(matches!(e, SimError::Isa(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

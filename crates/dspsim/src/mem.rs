@@ -1,0 +1,274 @@
+//! Byte-addressed memory regions with f32 views and bump allocation.
+//!
+//! All four memory levels (DDR, GSM, SM, AM) use the same region type;
+//! scratchpads are fixed-capacity, DDR grows on demand up to its capacity.
+
+use crate::SimError;
+
+/// One memory region.
+#[derive(Debug, Clone)]
+pub struct MemRegion {
+    name: &'static str,
+    data: Vec<u8>,
+    capacity: u64,
+    /// Bump-allocation watermark.
+    watermark: u64,
+    growable: bool,
+}
+
+impl MemRegion {
+    /// A fixed-size scratchpad, eagerly zero-initialised.
+    pub fn fixed(name: &'static str, capacity: usize) -> Self {
+        MemRegion {
+            name,
+            data: vec![0; capacity],
+            capacity: capacity as u64,
+            watermark: 0,
+            growable: false,
+        }
+    }
+
+    /// A lazily grown region (DDR): backing storage grows as touched.
+    pub fn growable(name: &'static str, capacity: u64) -> Self {
+        MemRegion {
+            name,
+            data: Vec::new(),
+            capacity,
+            watermark: 0,
+            growable: true,
+        }
+    }
+
+    /// Region name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently bump-allocated.
+    pub fn allocated(&self) -> u64 {
+        self.watermark
+    }
+
+    fn ensure(&mut self, offset: u64, len: u64) -> Result<(), SimError> {
+        let end = offset.checked_add(len).ok_or(SimError::OutOfBounds {
+            region: self.name,
+            offset,
+            len,
+            capacity: self.capacity,
+        })?;
+        if end > self.capacity {
+            return Err(SimError::OutOfBounds {
+                region: self.name,
+                offset,
+                len,
+                capacity: self.capacity,
+            });
+        }
+        if self.growable && self.data.len() < end as usize {
+            self.data.resize(end as usize, 0);
+        }
+        Ok(())
+    }
+
+    /// Bump-allocate `bytes`, aligned to `align` (power of two), returning
+    /// the byte offset.
+    pub fn alloc(&mut self, bytes: u64, align: u64) -> Result<u64, SimError> {
+        debug_assert!(align.is_power_of_two());
+        let start = (self.watermark + align - 1) & !(align - 1);
+        if start + bytes > self.capacity {
+            return Err(SimError::AllocFailure {
+                region: self.name,
+                requested: bytes,
+                available: self.capacity.saturating_sub(start),
+            });
+        }
+        self.ensure(start, bytes)?;
+        self.watermark = start + bytes;
+        Ok(start)
+    }
+
+    /// Release all bump allocations (contents are preserved).
+    pub fn reset_alloc(&mut self) {
+        self.watermark = 0;
+    }
+
+    /// Read one f32 (little-endian).
+    pub fn read_f32(&mut self, offset: u64) -> Result<f32, SimError> {
+        self.ensure(offset, 4)?;
+        let o = offset as usize;
+        let bytes = [
+            self.data[o],
+            self.data[o + 1],
+            self.data[o + 2],
+            self.data[o + 3],
+        ];
+        Ok(f32::from_le_bytes(bytes))
+    }
+
+    /// Write one f32 (little-endian).
+    pub fn write_f32(&mut self, offset: u64, value: f32) -> Result<(), SimError> {
+        self.ensure(offset, 4)?;
+        self.data[offset as usize..offset as usize + 4].copy_from_slice(&value.to_le_bytes());
+        Ok(())
+    }
+
+    /// Read `count` consecutive f32 into `out`.
+    pub fn read_f32_slice(&mut self, offset: u64, out: &mut [f32]) -> Result<(), SimError> {
+        self.ensure(offset, 4 * out.len() as u64)?;
+        let base = offset as usize;
+        for (i, v) in out.iter_mut().enumerate() {
+            let o = base + 4 * i;
+            *v = f32::from_le_bytes([
+                self.data[o],
+                self.data[o + 1],
+                self.data[o + 2],
+                self.data[o + 3],
+            ]);
+        }
+        Ok(())
+    }
+
+    /// Write a slice of consecutive f32.
+    pub fn write_f32_slice(&mut self, offset: u64, values: &[f32]) -> Result<(), SimError> {
+        self.ensure(offset, 4 * values.len() as u64)?;
+        let base = offset as usize;
+        for (i, v) in values.iter().enumerate() {
+            self.data[base + 4 * i..base + 4 * i + 4].copy_from_slice(&v.to_le_bytes());
+        }
+        Ok(())
+    }
+
+    /// Read one u64 (for the scalar register file's packed loads).
+    pub fn read_u64(&mut self, offset: u64) -> Result<u64, SimError> {
+        self.ensure(offset, 8)?;
+        let o = offset as usize;
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&self.data[o..o + 8]);
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Read one u32 zero-extended to u64.
+    pub fn read_u32(&mut self, offset: u64) -> Result<u64, SimError> {
+        self.ensure(offset, 4)?;
+        let o = offset as usize;
+        let mut b = [0u8; 4];
+        b.copy_from_slice(&self.data[o..o + 4]);
+        Ok(u32::from_le_bytes(b) as u64)
+    }
+
+    /// Raw byte copy *within* this region.
+    pub fn copy_within(&mut self, src: u64, dst: u64, len: u64) -> Result<(), SimError> {
+        self.ensure(src, len)?;
+        self.ensure(dst, len)?;
+        self.data
+            .copy_within(src as usize..(src + len) as usize, dst as usize);
+        Ok(())
+    }
+
+    /// Copy bytes from another region into this one (the DMA primitive).
+    pub fn copy_from(
+        &mut self,
+        src: &mut MemRegion,
+        src_off: u64,
+        dst_off: u64,
+        len: u64,
+    ) -> Result<(), SimError> {
+        src.ensure(src_off, len)?;
+        self.ensure(dst_off, len)?;
+        let (s, e) = (src_off as usize, (src_off + len) as usize);
+        self.data[dst_off as usize..(dst_off + len) as usize].copy_from_slice(&src.data[s..e]);
+        Ok(())
+    }
+
+    /// Zero a byte range.
+    pub fn zero(&mut self, offset: u64, len: u64) -> Result<(), SimError> {
+        self.ensure(offset, len)?;
+        self.data[offset as usize..(offset + len) as usize].fill(0);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f32_round_trips() {
+        let mut m = MemRegion::fixed("SM", 64);
+        m.write_f32(12, 3.5).unwrap();
+        assert_eq!(m.read_f32(12).unwrap(), 3.5);
+        m.write_f32_slice(16, &[1.0, -2.0, 0.25]).unwrap();
+        let mut out = [0.0; 3];
+        m.read_f32_slice(16, &mut out).unwrap();
+        assert_eq!(out, [1.0, -2.0, 0.25]);
+    }
+
+    #[test]
+    fn bounds_are_enforced() {
+        let mut m = MemRegion::fixed("AM", 16);
+        assert!(m.write_f32(14, 1.0).is_err());
+        assert!(m.read_f32(u64::MAX - 1).is_err(), "offset overflow guarded");
+        assert!(m.read_u64(9).is_err());
+        assert!(m.read_u64(8).is_ok());
+    }
+
+    #[test]
+    fn growable_region_grows_lazily_up_to_capacity() {
+        let mut m = MemRegion::growable("DDR", 1 << 20);
+        assert_eq!(m.data.len(), 0);
+        m.write_f32(1000, 7.0).unwrap();
+        assert!(m.data.len() >= 1004);
+        assert!(m.write_f32(1 << 20, 7.0).is_err());
+    }
+
+    #[test]
+    fn packed_u64_matches_two_f32() {
+        let mut m = MemRegion::fixed("SM", 32);
+        m.write_f32(8, 1.5).unwrap();
+        m.write_f32(12, -3.0).unwrap();
+        let packed = m.read_u64(8).unwrap();
+        assert_eq!(f32::from_bits(packed as u32), 1.5);
+        assert_eq!(f32::from_bits((packed >> 32) as u32), -3.0);
+        assert_eq!(m.read_u32(12).unwrap(), (-3.0f32).to_bits() as u64);
+    }
+
+    #[test]
+    fn bump_alloc_aligns_and_fails_cleanly() {
+        let mut m = MemRegion::fixed("GSM", 256);
+        let a = m.alloc(10, 1).unwrap();
+        let b = m.alloc(16, 64).unwrap();
+        assert_eq!(a, 0);
+        assert_eq!(b, 64);
+        assert_eq!(m.allocated(), 80);
+        let err = m.alloc(1000, 1).unwrap_err();
+        assert!(matches!(err, SimError::AllocFailure { .. }));
+        m.reset_alloc();
+        assert_eq!(m.alloc(10, 1).unwrap(), 0);
+    }
+
+    #[test]
+    fn dma_copy_between_regions() {
+        let mut ddr = MemRegion::growable("DDR", 1 << 16);
+        let mut am = MemRegion::fixed("AM", 1 << 10);
+        ddr.write_f32_slice(128, &[1.0, 2.0, 3.0, 4.0]).unwrap();
+        am.copy_from(&mut ddr, 128, 0, 16).unwrap();
+        let mut out = [0.0; 4];
+        am.read_f32_slice(0, &mut out).unwrap();
+        assert_eq!(out, [1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn zero_clears_range_only() {
+        let mut m = MemRegion::fixed("AM", 64);
+        m.write_f32_slice(0, &[1.0; 4]).unwrap();
+        m.zero(4, 8).unwrap();
+        let mut out = [0.0; 4];
+        m.read_f32_slice(0, &mut out).unwrap();
+        assert_eq!(out, [1.0, 0.0, 0.0, 1.0]);
+    }
+}

@@ -1,0 +1,112 @@
+//! Execution statistics and efficiency accounting.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-core counters accumulated during a simulated run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CoreStats {
+    /// Compute cycles spent executing kernel bundles.
+    pub compute_cycles: u64,
+    /// Dynamic instruction count (interpret mode only).
+    pub instructions: u64,
+    /// Flops performed (FMA = 2).
+    pub flops: u64,
+    /// Bytes moved over the DDR interface by this core's DMA engine.
+    pub ddr_bytes: u64,
+    /// Bytes moved over on-chip (GSM) paths by this core's DMA engine.
+    pub gsm_bytes: u64,
+    /// Number of DMA descriptors issued.
+    pub dma_transfers: u64,
+    /// Number of micro-kernel invocations.
+    pub kernel_calls: u64,
+}
+
+impl CoreStats {
+    /// Merge another core's counters into this one.
+    pub fn merge(&mut self, other: &CoreStats) {
+        self.compute_cycles += other.compute_cycles;
+        self.instructions += other.instructions;
+        self.flops += other.flops;
+        self.ddr_bytes += other.ddr_bytes;
+        self.gsm_bytes += other.gsm_bytes;
+        self.dma_transfers += other.dma_transfers;
+        self.kernel_calls += other.kernel_calls;
+    }
+}
+
+/// Result of one simulated GEMM (or kernel) run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Simulated wall time in seconds (max over participating cores).
+    pub seconds: f64,
+    /// Useful flops of the *problem* (2·M·N·K), not of padded work.
+    pub useful_flops: u64,
+    /// Aggregated counters over all cores.
+    pub totals: CoreStats,
+    /// Number of cores that participated.
+    pub cores_used: usize,
+}
+
+impl RunReport {
+    /// Achieved flop/s on the problem's useful work.
+    pub fn gflops(&self) -> f64 {
+        if self.seconds <= 0.0 {
+            return 0.0;
+        }
+        self.useful_flops as f64 / self.seconds / 1e9
+    }
+
+    /// Efficiency against a peak given in flop/s.
+    pub fn efficiency(&self, peak_flops: f64) -> f64 {
+        self.gflops() * 1e9 / peak_flops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = CoreStats {
+            compute_cycles: 10,
+            flops: 100,
+            ddr_bytes: 5,
+            ..CoreStats::default()
+        };
+        let b = CoreStats {
+            compute_cycles: 3,
+            flops: 7,
+            kernel_calls: 2,
+            ..CoreStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.compute_cycles, 13);
+        assert_eq!(a.flops, 107);
+        assert_eq!(a.kernel_calls, 2);
+        assert_eq!(a.ddr_bytes, 5);
+    }
+
+    #[test]
+    fn gflops_and_efficiency() {
+        let r = RunReport {
+            seconds: 1e-3,
+            useful_flops: 345_600_000,
+            totals: CoreStats::default(),
+            cores_used: 1,
+        };
+        assert!((r.gflops() - 345.6).abs() < 1e-9);
+        assert!((r.efficiency(345.6e9) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_time_is_guarded() {
+        let r = RunReport {
+            seconds: 0.0,
+            useful_flops: 1,
+            totals: CoreStats::default(),
+            cores_used: 1,
+        };
+        assert_eq!(r.gflops(), 0.0);
+    }
+}

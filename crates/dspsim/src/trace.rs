@@ -1,0 +1,174 @@
+//! Execution traces: per-cycle unit occupancy recorded during
+//! interpretation, rendered as a text timeline.  Useful for inspecting
+//! how a generated schedule actually issues (fill, steady state, drain)
+//! and for verifying occupancy claims in tests.
+
+use crate::{Core, KernelBindings, SimError};
+use ftimm_isa::{LatencyTable, Program, Unit};
+use std::fmt;
+
+/// A recorded trace: one entry per executed cycle, each a bitmask over
+/// [`Unit::ALL`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecTrace {
+    /// Occupancy masks, one per cycle (bit *i* = `Unit::ALL[i]` issued).
+    pub cycles: Vec<u16>,
+}
+
+impl ExecTrace {
+    fn unit_bit(unit: Unit) -> u16 {
+        1 << Unit::ALL.iter().position(|&u| u == unit).expect("unit")
+    }
+
+    /// Number of traced cycles.
+    pub fn len(&self) -> usize {
+        self.cycles.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cycles.is_empty()
+    }
+
+    /// Occupancy of a unit across the trace.
+    pub fn occupancy(&self, unit: Unit) -> f64 {
+        if self.cycles.is_empty() {
+            return 0.0;
+        }
+        let bit = Self::unit_bit(unit);
+        let busy = self.cycles.iter().filter(|&&m| m & bit != 0).count();
+        busy as f64 / self.cycles.len() as f64
+    }
+
+    /// Cycles where no unit issued (pipeline bubbles).
+    pub fn idle_cycles(&self) -> usize {
+        self.cycles.iter().filter(|&&m| m == 0).count()
+    }
+
+    /// Render a window of the trace as rows of `#`/`.` per unit.
+    pub fn render_window(&self, start: usize, len: usize) -> String {
+        let end = (start + len).min(self.cycles.len());
+        let mut out = String::new();
+        for (i, unit) in Unit::ALL.iter().enumerate() {
+            let bit = 1u16 << i;
+            let row: String = self.cycles[start..end]
+                .iter()
+                .map(|m| if m & bit != 0 { '#' } else { '.' })
+                .collect();
+            if row.contains('#') {
+                out.push_str(&format!("{:<20} {row}\n", unit.row_label()));
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for ExecTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render_window(0, self.cycles.len().min(120)))
+    }
+}
+
+/// Interpret a program while recording the per-cycle unit occupancy.
+///
+/// Functionally identical to [`crate::run_program`]; the trace costs one
+/// `u16` per cycle.
+pub fn run_traced(
+    core: &mut Core,
+    program: &Program,
+    bind: KernelBindings,
+    lat: &LatencyTable,
+) -> Result<(crate::ExecReport, ExecTrace), SimError> {
+    // Pre-record the occupancy (purely structural), then execute.
+    let mut trace = ExecTrace::default();
+    program.visit::<SimError>(&mut |_idx, bundle| {
+        let mut mask = 0u16;
+        for (unit, _inst) in bundle.iter() {
+            mask |= ExecTrace::unit_bit(unit);
+        }
+        trace.cycles.push(mask);
+        Ok(())
+    })?;
+    let report = crate::run_program(core, program, bind, lat, true)?;
+    debug_assert_eq!(report.cycles as usize, trace.len());
+    Ok((report, trace))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HwConfig;
+    use ftimm_isa::{AddrExpr, BufId, Bundle, Instruction, MemSpace, Section, VReg};
+
+    fn v(n: u16) -> VReg {
+        VReg::new(n).unwrap()
+    }
+
+    fn program() -> Program {
+        let mut p = Program::new("traced");
+        let mut b1 = Bundle::new();
+        b1.push_auto(Instruction::vldw(
+            v(0),
+            AddrExpr::flat(MemSpace::Am, BufId::B, 0),
+        ))
+        .unwrap();
+        let gap = Bundle::new();
+        let mut b2 = Bundle::new();
+        b2.push_auto(Instruction::vfadds32(v(1), v(0), v(0)))
+            .unwrap();
+        b2.push_auto(Instruction::vclr(v(2))).unwrap();
+        p.sections.push(Section::Straight(vec![
+            b1,
+            gap.clone(),
+            gap.clone(),
+            gap.clone(),
+            gap,
+            b2,
+        ]));
+        p
+    }
+
+    #[test]
+    fn trace_matches_execution() {
+        let cfg = HwConfig::default();
+        let mut core = Core::new(0, &cfg);
+        let bind = KernelBindings {
+            a_off: 0,
+            b_off: 0,
+            c_off: 0,
+        };
+        let (report, trace) = run_traced(&mut core, &program(), bind, &cfg.latencies).unwrap();
+        assert_eq!(report.cycles as usize, trace.len());
+        assert_eq!(trace.len(), 6);
+        assert_eq!(trace.idle_cycles(), 4);
+        assert!((trace.occupancy(Unit::VectorLs1) - 1.0 / 6.0).abs() < 1e-12);
+        assert!((trace.occupancy(Unit::VectorFmac1) - 1.0 / 6.0).abs() < 1e-12);
+        assert_eq!(trace.occupancy(Unit::Control), 0.0);
+    }
+
+    #[test]
+    fn render_shows_active_rows_only() {
+        let cfg = HwConfig::default();
+        let mut core = Core::new(0, &cfg);
+        let bind = KernelBindings {
+            a_off: 0,
+            b_off: 0,
+            c_off: 0,
+        };
+        let (_, trace) = run_traced(&mut core, &program(), bind, &cfg.latencies).unwrap();
+        let s = trace.to_string();
+        assert!(s.contains("Vector Load&Store1"));
+        assert!(s.contains("Vector Misc"));
+        assert!(!s.contains("Scalar FMAC1"), "idle units omitted:\n{s}");
+        assert!(s.contains('#'));
+        assert!(s.contains('.'));
+    }
+
+    #[test]
+    fn empty_trace_is_safe() {
+        let t = ExecTrace::default();
+        assert_eq!(t.occupancy(Unit::Control), 0.0);
+        assert!(t.is_empty());
+        assert_eq!(t.render_window(0, 10), "");
+    }
+}

@@ -1,0 +1,44 @@
+//! Configuration and report types are value types with serde support
+//! (they are embedded in experiment records and bench metadata).
+
+use dspsim::{CoreStats, Dma2d, DmaPath, ExecMode, HwConfig, RunReport};
+
+/// Compile-time assertion that a type round-trips through serde.
+fn assert_serde<T: serde::Serialize + for<'de> serde::Deserialize<'de>>() {}
+
+#[test]
+fn public_value_types_implement_serde() {
+    assert_serde::<HwConfig>();
+    assert_serde::<CoreStats>();
+    assert_serde::<RunReport>();
+    assert_serde::<Dma2d>();
+    assert_serde::<DmaPath>();
+    assert_serde::<ExecMode>();
+}
+
+#[test]
+fn hw_config_equality_is_field_wise() {
+    let a = HwConfig::default();
+    let mut b = a.clone();
+    assert_eq!(a, b);
+    b.ddr_efficiency = 0.5;
+    assert_ne!(a, b);
+}
+
+#[test]
+fn core_stats_and_report_are_copyable_value_types() {
+    let a = CoreStats {
+        flops: 10,
+        ..CoreStats::default()
+    };
+    let b = a;
+    assert_eq!(a, b);
+    let r = RunReport {
+        seconds: 1.0,
+        useful_flops: 2,
+        totals: a,
+        cores_used: 8,
+    };
+    let r2 = r;
+    assert_eq!(r, r2);
+}

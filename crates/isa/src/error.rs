@@ -1,0 +1,72 @@
+//! Error type shared by ISA construction, assembly parsing and validation.
+
+use std::fmt;
+
+/// Errors produced while building, parsing or validating ISA objects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IsaError {
+    /// Two instructions in one bundle target the same functional unit.
+    UnitConflict {
+        /// The contested unit.
+        unit: crate::Unit,
+    },
+    /// A bundle exceeds the scalar- or vector-side issue width.
+    SlotOverflow {
+        /// `true` if the scalar side overflowed, `false` for the vector side.
+        scalar: bool,
+        /// Number of instructions that were attempted on that side.
+        got: usize,
+        /// The architectural limit for that side.
+        limit: usize,
+    },
+    /// An instruction was built with the wrong operand shape for its opcode.
+    OperandMismatch {
+        /// The opcode in question.
+        opcode: crate::Opcode,
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// A register index is out of range.
+    BadRegister {
+        /// The offending index.
+        index: u16,
+        /// `true` for vector registers, `false` for scalar registers.
+        vector: bool,
+    },
+    /// Assembly text could not be parsed.
+    Parse {
+        /// 1-based line number of the failure.
+        line: usize,
+        /// Description of what went wrong.
+        detail: String,
+    },
+    /// A loop section refers to a loop level deeper than supported.
+    BadLoopLevel(u8),
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaError::UnitConflict { unit } => {
+                write!(f, "two instructions in one bundle target unit {unit}")
+            }
+            IsaError::SlotOverflow { scalar, got, limit } => write!(
+                f,
+                "{} side of bundle has {got} instructions (limit {limit})",
+                if *scalar { "scalar" } else { "vector" }
+            ),
+            IsaError::OperandMismatch { opcode, detail } => {
+                write!(f, "operand mismatch for {opcode}: {detail}")
+            }
+            IsaError::BadRegister { index, vector } => write!(
+                f,
+                "{} register index {index} out of range",
+                if *vector { "vector" } else { "scalar" }
+            ),
+            IsaError::Parse { line, detail } => write!(f, "parse error on line {line}: {detail}"),
+            IsaError::BadLoopLevel(l) => write!(f, "loop level {l} too deep"),
+        }
+    }
+}
+
+impl std::error::Error for IsaError {}

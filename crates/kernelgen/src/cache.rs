@@ -1,0 +1,116 @@
+//! Kernel cache: generated kernels keyed by shape (and forced tiling),
+//! shared across blocking layers and sweeps.
+
+use crate::{GenError, KernelSpec, MicroKernel};
+use dspsim::HwConfig;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+type Key = (KernelSpec, Option<(usize, usize)>);
+
+/// A thread-safe cache of generated micro-kernels.
+pub struct KernelCache {
+    cfg: HwConfig,
+    map: Mutex<HashMap<Key, Arc<MicroKernel>>>,
+}
+
+impl KernelCache {
+    /// New cache for a hardware configuration.
+    pub fn new(cfg: HwConfig) -> Self {
+        KernelCache {
+            cfg,
+            map: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The hardware configuration kernels are generated for.
+    pub fn cfg(&self) -> &HwConfig {
+        &self.cfg
+    }
+
+    /// Get or generate the auto-tuned kernel for a spec.
+    pub fn get(&self, spec: KernelSpec) -> Result<Arc<MicroKernel>, GenError> {
+        self.get_inner(spec, None)
+    }
+
+    /// Get or generate a kernel with a forced tiling (TGEMM's fixed
+    /// micro-kernel).
+    pub fn get_forced(
+        &self,
+        spec: KernelSpec,
+        m_u: usize,
+        k_u: usize,
+    ) -> Result<Arc<MicroKernel>, GenError> {
+        self.get_inner(spec, Some((m_u, k_u)))
+    }
+
+    fn get_inner(
+        &self,
+        spec: KernelSpec,
+        forced: Option<(usize, usize)>,
+    ) -> Result<Arc<MicroKernel>, GenError> {
+        if let Some(k) = self.map.lock().get(&(spec, forced)) {
+            return Ok(Arc::clone(k));
+        }
+        // Generate outside the lock: generation is pure and deterministic,
+        // so a racing duplicate insert is harmless and identical.
+        let kernel = Arc::new(match forced {
+            None => MicroKernel::generate(spec, &self.cfg)?,
+            Some((m_u, k_u)) => MicroKernel::generate_forced(spec, m_u, k_u, &self.cfg)?,
+        });
+        self.map
+            .lock()
+            .entry((spec, forced))
+            .or_insert_with(|| Arc::clone(&kernel));
+        Ok(kernel)
+    }
+
+    /// Number of cached kernels.
+    pub fn len(&self) -> usize {
+        self.map.lock().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_returns_shared_instances() {
+        let cache = KernelCache::new(HwConfig::default());
+        let spec = KernelSpec::new(6, 64, 96).unwrap();
+        let a = cache.get(spec).unwrap();
+        let b = cache.get(spec).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn forced_and_tuned_are_distinct_entries() {
+        let cache = KernelCache::new(HwConfig::default());
+        let spec = KernelSpec::new(6, 64, 96).unwrap();
+        let tuned = cache.get(spec).unwrap();
+        let forced = cache.get_forced(spec, 6, 1).unwrap();
+        assert_eq!(cache.len(), 2);
+        // Both compute the same shape.
+        assert_eq!(tuned.spec, forced.spec);
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let cache = KernelCache::new(HwConfig::default());
+        let bad = KernelSpec {
+            m_s: 6,
+            k_a: 64,
+            n_a: 200,
+        };
+        assert!(cache.get(bad).is_err());
+        assert!(cache.is_empty());
+    }
+}

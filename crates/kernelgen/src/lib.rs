@@ -1,0 +1,42 @@
+//! # kernelgen
+//!
+//! Automatic generation of software-pipelined VLIW assembly micro-kernels
+//! for the simulated FT-m7032 DSP core — the core mechanism of ftIMM
+//! (§IV-A of the CLUSTER 2022 paper).
+//!
+//! Given a kernel shape `(m_s, k_a, n_a)` the generator:
+//! 1. enumerates `(m_u, k_u)` tilings that fit the register files
+//!    ([`tiling`]),
+//! 2. modulo-schedules the steady-state loop against the unit/latency
+//!    model ([`modsched`]) — the 2-broadcasts-per-cycle ceiling of the
+//!    scalar unit reproduces the paper's 66.7 % upper bound for
+//!    `n_a ≤ 32`,
+//! 3. emits a complete [`ftimm_isa::Program`] with C-panel prologue,
+//!    pipelined body, depth remainder, accumulator reduction and store
+//!    ([`build()`]), and
+//! 4. keeps the candidate with the fewest total cycles.
+//!
+//! Generated kernels are *executed* by `dspsim`'s interpreter (bit-exact,
+//! hazard-checked) or by the order-mirroring host executor ([`fast`]);
+//! their cycle count doubles as the analytic timing model.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod build;
+pub mod cache;
+pub mod fast;
+pub mod linesched;
+pub mod modsched;
+pub mod regmap;
+pub mod spec;
+pub mod tiling;
+
+pub use analysis::{verify_occupancy, KernelReport};
+pub use build::{build, BlockPlan, MicroKernel};
+pub use cache::KernelCache;
+pub use linesched::LineScheduler;
+pub use regmap::RegMap;
+pub use spec::{GenError, KernelLayout, KernelSpec, MAX_NA};
+pub use tiling::{candidates, upper_bound_efficiency, Tiling};

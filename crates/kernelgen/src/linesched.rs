@@ -1,0 +1,264 @@
+//! Greedy in-order list scheduler for straight-line sections (the C-panel
+//! load prologue, the depth-remainder tail and the reduction/store
+//! epilogue of each `mm` block).
+//!
+//! Instructions are placed at the earliest cycle at which (a) all their
+//! register operands are ready and (b) a unit of their class is free.
+//! Later instructions never issue before earlier ones (in-order), which
+//! keeps the semantics identical to program order while packing bundles.
+
+use crate::GenError;
+use dspsim::HwConfig;
+use ftimm_isa::{Bundle, Instruction, LatencyTable, NUM_SREGS, NUM_VREGS};
+
+/// Straight-line scheduler.
+pub struct LineScheduler<'a> {
+    lat: &'a LatencyTable,
+    bundles: Vec<Bundle>,
+    ready_s: [u64; NUM_SREGS],
+    ready_v: [u64; NUM_VREGS],
+    /// One past the issue cycle of the latest read of each register (0 =
+    /// never read).  WAR ordering: a rewrite must land strictly after
+    /// every read of the old value.
+    read_s: [u64; NUM_SREGS],
+    read_v: [u64; NUM_VREGS],
+    /// One past the issue cycle of the latest write (0 = never written;
+    /// WAW ordering).
+    def_s: [u64; NUM_SREGS],
+    def_v: [u64; NUM_VREGS],
+    /// Earliest issue cycle for the next instruction (in-order constraint).
+    horizon: u64,
+}
+
+impl<'a> LineScheduler<'a> {
+    /// New scheduler; `residual_s`/`residual_v` carry not-yet-expired
+    /// latencies of registers written by a *preceding* section (cycle 0
+    /// here is the first cycle after that section).
+    pub fn new(
+        cfg: &'a HwConfig,
+        residual_s: &[u64; NUM_SREGS],
+        residual_v: &[u64; NUM_VREGS],
+    ) -> Self {
+        LineScheduler {
+            lat: &cfg.latencies,
+            bundles: Vec::new(),
+            ready_s: *residual_s,
+            ready_v: *residual_v,
+            read_s: [0; NUM_SREGS],
+            read_v: [0; NUM_VREGS],
+            def_s: [0; NUM_SREGS],
+            def_v: [0; NUM_VREGS],
+            horizon: 0,
+        }
+    }
+
+    /// Convenience: no residual latencies.
+    pub fn fresh(cfg: &'a HwConfig) -> Self {
+        LineScheduler::new(cfg, &[0; NUM_SREGS], &[0; NUM_VREGS])
+    }
+
+    fn ready_cycle(&self, inst: &Instruction) -> u64 {
+        let mut c = self.horizon;
+        for r in &inst.suses {
+            c = c.max(self.ready_s[r.index()]);
+        }
+        for r in &inst.vuses {
+            c = c.max(self.ready_v[r.index()]);
+        }
+        // WAR/WAW: a new definition must issue strictly after every issued
+        // read of the old value and after the previous definition — the
+        // in-order core applies register writes at issue, so a same-cycle
+        // overwrite would be visible to a same-cycle reader.
+        for r in &inst.sdefs {
+            c = c.max(self.read_s[r.index()]).max(self.def_s[r.index()]);
+        }
+        for r in &inst.vdefs {
+            c = c.max(self.read_v[r.index()]).max(self.def_v[r.index()]);
+        }
+        c
+    }
+
+    /// Schedule one instruction.
+    pub fn push(&mut self, inst: Instruction) -> Result<(), GenError> {
+        let mut cycle = self.ready_cycle(&inst);
+        loop {
+            while self.bundles.len() as u64 <= cycle {
+                self.bundles.push(Bundle::new());
+            }
+            match self.bundles[cycle as usize].push_auto(inst.clone()) {
+                Ok(_unit) => break,
+                Err(_) => cycle += 1,
+            }
+        }
+        let lat = self.lat.of(inst.opcode) as u64;
+        for r in &inst.sdefs {
+            self.ready_s[r.index()] = cycle + lat;
+            self.def_s[r.index()] = cycle + 1;
+        }
+        for r in &inst.vdefs {
+            self.ready_v[r.index()] = cycle + lat;
+            self.def_v[r.index()] = cycle + 1;
+        }
+        for r in &inst.suses {
+            self.read_s[r.index()] = self.read_s[r.index()].max(cycle + 1);
+        }
+        for r in &inst.vuses {
+            self.read_v[r.index()] = self.read_v[r.index()].max(cycle + 1);
+        }
+        self.horizon = self.horizon.max(cycle);
+        Ok(())
+    }
+
+    /// Finish: pad with empty bundles until every pending latency has
+    /// expired, so following sections start hazard-free at cycle 0.
+    pub fn finish(mut self) -> Vec<Bundle> {
+        let drain = self
+            .ready_s
+            .iter()
+            .chain(self.ready_v.iter())
+            .copied()
+            .max()
+            .unwrap_or(0);
+        while (self.bundles.len() as u64) < drain {
+            self.bundles.push(Bundle::new());
+        }
+        self.bundles
+    }
+
+    /// Finish without latency padding (when the caller knows the next
+    /// section cannot read these registers early).
+    pub fn finish_unpadded(self) -> Vec<Bundle> {
+        self.bundles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dspsim::{run_program, Core, HwConfig, KernelBindings};
+    use ftimm_isa::{AddrExpr, BufId, MemSpace, Program, SReg, Section, VReg};
+
+    fn cfg() -> HwConfig {
+        HwConfig::default()
+    }
+    fn v(n: u16) -> VReg {
+        VReg::new(n).unwrap()
+    }
+    fn r(n: u16) -> SReg {
+        SReg::new(n).unwrap()
+    }
+
+    #[test]
+    fn dependent_chain_is_spaced_by_latency() {
+        let cfg = cfg();
+        let mut ls = LineScheduler::fresh(&cfg);
+        ls.push(Instruction::sldh(
+            r(0),
+            AddrExpr::flat(MemSpace::Sm, BufId::A, 0),
+        ))
+        .unwrap();
+        ls.push(Instruction::sfexts32l(r(1), r(0))).unwrap();
+        ls.push(Instruction::svbcast(v(0), r(1))).unwrap();
+        let bundles = ls.finish_unpadded();
+        // SLDH at 0, SFEXTS32L at t_sld, SVBCAST at t_sld + t_sext.
+        assert!(bundles[0].len() == 1);
+        assert!(bundles[cfg.latencies.t_sld as usize].len() == 1);
+        assert_eq!(
+            bundles.len() as u32,
+            cfg.latencies.t_sld + cfg.latencies.t_sext + 1
+        );
+    }
+
+    #[test]
+    fn independent_ops_pack_into_one_bundle() {
+        let cfg = cfg();
+        let mut ls = LineScheduler::fresh(&cfg);
+        for n in 0..3 {
+            ls.push(Instruction::vfmulas32(v(n * 3), v(n * 3 + 1), v(n * 3 + 2)))
+                .unwrap();
+        }
+        let bundles = ls.finish_unpadded();
+        assert_eq!(bundles.len(), 1);
+        assert_eq!(bundles[0].len(), 3);
+    }
+
+    #[test]
+    fn unit_saturation_spills_to_next_cycle() {
+        let cfg = cfg();
+        let mut ls = LineScheduler::fresh(&cfg);
+        for n in 0..4 {
+            ls.push(Instruction::vfmulas32(v(n * 3), v(n * 3 + 1), v(n * 3 + 2)))
+                .unwrap();
+        }
+        let bundles = ls.finish_unpadded();
+        assert_eq!(bundles.len(), 2);
+        assert_eq!(bundles[0].len(), 3);
+        assert_eq!(bundles[1].len(), 1);
+    }
+
+    #[test]
+    fn residuals_delay_first_use() {
+        let cfg = cfg();
+        let mut res_v = [0u64; NUM_VREGS];
+        res_v[5] = 4; // V5 becomes ready at cycle 4
+        let mut ls = LineScheduler::new(&cfg, &[0; NUM_SREGS], &res_v);
+        ls.push(Instruction::vfadds32(v(6), v(5), v(5))).unwrap();
+        let bundles = ls.finish_unpadded();
+        assert_eq!(bundles.len(), 5);
+        assert!(bundles[4].len() == 1);
+        for b in &bundles[..4] {
+            assert!(b.is_empty());
+        }
+    }
+
+    #[test]
+    fn finish_pads_out_pending_latencies() {
+        let cfg = cfg();
+        let mut ls = LineScheduler::fresh(&cfg);
+        ls.push(Instruction::vldw(
+            v(0),
+            AddrExpr::flat(MemSpace::Am, BufId::B, 0),
+        ))
+        .unwrap();
+        let bundles = ls.finish();
+        assert_eq!(bundles.len() as u32, cfg.latencies.t_vldw);
+    }
+
+    #[test]
+    fn scheduled_sections_pass_the_hazard_checker() {
+        // A small but adversarial mix: dependent chains, unit saturation,
+        // reductions — then run it through the interpreter with hazard
+        // checking on.
+        let cfg = cfg();
+        let mut ls = LineScheduler::fresh(&cfg);
+        ls.push(Instruction::vldw(
+            v(0),
+            AddrExpr::flat(MemSpace::Am, BufId::B, 0),
+        ))
+        .unwrap();
+        ls.push(Instruction::vldw(
+            v(1),
+            AddrExpr::flat(MemSpace::Am, BufId::B, 128),
+        ))
+        .unwrap();
+        ls.push(Instruction::vfadds32(v(2), v(0), v(1))).unwrap();
+        ls.push(Instruction::vfadds32(v(2), v(2), v(1))).unwrap();
+        ls.push(Instruction::vstw(
+            v(2),
+            AddrExpr::flat(MemSpace::Am, BufId::C, 0),
+        ))
+        .unwrap();
+        let mut p = Program::new("linesched_smoke");
+        p.sections.push(Section::Straight(ls.finish()));
+
+        let mut core = Core::new(0, &cfg);
+        core.am.write_f32_slice(0, &[2.0; 64]).unwrap();
+        let bind = KernelBindings {
+            a_off: 0,
+            b_off: 0,
+            c_off: 4096,
+        };
+        run_program(&mut core, &p, bind, &cfg.latencies, true).unwrap();
+        assert_eq!(core.am.read_f32(4096).unwrap(), 6.0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Register assignment for generated kernels.
+//!
+//! Layout of the vector file (`V0` upward):
+//! * accumulators `acc[ku][mu][nn]` — `nn` contiguous so C rows can be
+//!   loaded/stored with paired `VLDDW`/`VSTDW`;
+//! * double-buffered B vectors `vb[parity][ku][nn]` — `nn` contiguous for
+//!   paired loads;
+//! * double-buffered A broadcasts `va[parity][mu][ku]`.
+//!
+//! Scalar file: per-parity load/extract chains.
+
+use crate::Tiling;
+use ftimm_isa::{SReg, VReg};
+
+/// Register name assignment for one tiling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegMap {
+    m_u: usize,
+    k_u: usize,
+    v_n: usize,
+}
+
+impl RegMap {
+    /// Build the map for a tiling (assumes `tiling.fits_registers()`).
+    pub fn new(t: &Tiling) -> Self {
+        debug_assert!(t.fits_registers());
+        RegMap {
+            m_u: t.m_u,
+            k_u: t.k_u,
+            v_n: t.v_n,
+        }
+    }
+
+    fn accs(&self) -> usize {
+        self.m_u * self.k_u * self.v_n
+    }
+
+    fn vreg(idx: usize) -> VReg {
+        VReg::new(idx as u16).expect("register budget verified by Tiling")
+    }
+
+    fn sreg(idx: usize) -> SReg {
+        SReg::new(idx as u16).expect("register budget verified by Tiling")
+    }
+
+    /// Accumulator `acc[ku][mu][nn]`.
+    pub fn acc(&self, ku: usize, mu: usize, nn: usize) -> VReg {
+        debug_assert!(ku < self.k_u && mu < self.m_u && nn < self.v_n);
+        Self::vreg((ku * self.m_u + mu) * self.v_n + nn)
+    }
+
+    /// B panel vector `vb[parity][ku][nn]`.
+    pub fn vb(&self, parity: usize, ku: usize, nn: usize) -> VReg {
+        debug_assert!(parity < 2 && ku < self.k_u && nn < self.v_n);
+        Self::vreg(self.accs() + (parity * self.k_u + ku) * self.v_n + nn)
+    }
+
+    /// A broadcast vector `va[parity][mu][ku]`.
+    pub fn va(&self, parity: usize, mu: usize, ku: usize) -> VReg {
+        debug_assert!(parity < 2 && mu < self.m_u && ku < self.k_u);
+        Self::vreg(self.accs() + 2 * self.k_u * self.v_n + (parity * self.m_u + mu) * self.k_u + ku)
+    }
+
+    /// Scalar register holding the packed `SLDW` result (`k_u ≥ 2`).
+    pub fn a_ld(&self, parity: usize, mu: usize, pair: usize) -> SReg {
+        debug_assert!(self.k_u >= 2 && pair < self.k_u / 2);
+        Self::sreg(((parity * self.m_u + mu) * (self.k_u / 2) + pair) * 3)
+    }
+
+    /// Low-extract result of a packed pair.
+    pub fn a_lo(&self, parity: usize, mu: usize, pair: usize) -> SReg {
+        Self::sreg(((parity * self.m_u + mu) * (self.k_u / 2) + pair) * 3 + 1)
+    }
+
+    /// High-extract result of a packed pair.
+    pub fn a_hi(&self, parity: usize, mu: usize, pair: usize) -> SReg {
+        Self::sreg(((parity * self.m_u + mu) * (self.k_u / 2) + pair) * 3 + 2)
+    }
+
+    /// Scalar register for the single `SLDH` load (`k_u = 1`).
+    pub fn a_ld1(&self, parity: usize, mu: usize) -> SReg {
+        debug_assert!(self.k_u == 1);
+        Self::sreg((parity * self.m_u + mu) * 2)
+    }
+
+    /// Extract result for the `k_u = 1` path.
+    pub fn a_ext1(&self, parity: usize, mu: usize) -> SReg {
+        debug_assert!(self.k_u == 1);
+        Self::sreg((parity * self.m_u + mu) * 2 + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map(m_u: usize, k_u: usize, v_n: usize) -> RegMap {
+        RegMap { m_u, k_u, v_n }
+    }
+
+    #[test]
+    fn accumulators_are_nn_contiguous() {
+        let r = map(6, 2, 2);
+        assert_eq!(r.acc(0, 0, 1).index(), r.acc(0, 0, 0).index() + 1);
+        assert_eq!(r.acc(1, 5, 0).index(), (6 + 5) * 2);
+    }
+
+    #[test]
+    fn b_vectors_are_nn_contiguous_for_paired_loads() {
+        let r = map(6, 1, 3);
+        assert_eq!(r.vb(0, 0, 1).index(), r.vb(0, 0, 0).index() + 1);
+        assert_eq!(r.vb(0, 0, 2).index(), r.vb(0, 0, 0).index() + 2);
+    }
+
+    #[test]
+    fn no_overlap_between_classes() {
+        let r = map(6, 2, 2);
+        let mut seen = std::collections::HashSet::new();
+        for ku in 0..2 {
+            for mu in 0..6 {
+                for nn in 0..2 {
+                    assert!(seen.insert(r.acc(ku, mu, nn).index()));
+                }
+            }
+        }
+        for p in 0..2 {
+            for ku in 0..2 {
+                for nn in 0..2 {
+                    assert!(seen.insert(r.vb(p, ku, nn).index()));
+                }
+            }
+            for mu in 0..6 {
+                for ku in 0..2 {
+                    assert!(seen.insert(r.va(p, mu, ku).index()));
+                }
+            }
+        }
+        assert_eq!(seen.len(), 24 + 8 + 24);
+    }
+
+    #[test]
+    fn scalar_chains_do_not_collide() {
+        let r = map(6, 2, 2);
+        let mut seen = std::collections::HashSet::new();
+        for p in 0..2 {
+            for mu in 0..6 {
+                assert!(seen.insert(r.a_ld(p, mu, 0).index()));
+                assert!(seen.insert(r.a_lo(p, mu, 0).index()));
+                assert!(seen.insert(r.a_hi(p, mu, 0).index()));
+            }
+        }
+        assert_eq!(seen.len(), 36);
+    }
+}

@@ -1,0 +1,73 @@
+//! Finite-element-style batched small GEMMs (§I of the paper): FEM
+//! assembly in fluid dynamics produces many multiplications of small
+//! element matrices.  Batching the element operators row-wise turns the
+//! workload into one tall-and-skinny GEMM per operator.
+
+use crate::gen::MatrixGen;
+use ftimm::GemmShape;
+
+/// A batch of FEM element operations `C_e += A_e × B`, sharing the small
+/// right-hand operator `B` (e.g. a reference-element gradient matrix).
+#[derive(Debug, Clone)]
+pub struct FemBatch {
+    /// Stacked element matrices, `(elements · rows) × inner`, row-major.
+    pub elements: Vec<f32>,
+    /// The shared operator, `inner × cols`.
+    pub operator: Vec<f32>,
+    /// Number of elements in the batch.
+    pub count: usize,
+    /// Rows per element matrix.
+    pub rows: usize,
+    /// Inner (contraction) dimension.
+    pub inner: usize,
+    /// Output columns.
+    pub cols: usize,
+}
+
+impl FemBatch {
+    /// Generate a batch: `count` elements of `rows × inner` against one
+    /// `inner × cols` operator.  Typical FEM orders give
+    /// `rows, inner, cols ∈ [4, 64]`.
+    pub fn generate(count: usize, rows: usize, inner: usize, cols: usize, seed: u64) -> Self {
+        let mut g = MatrixGen::new(seed);
+        FemBatch {
+            elements: g.matrix(count * rows, inner),
+            operator: g.matrix(inner, cols),
+            count,
+            rows,
+            inner,
+            cols,
+        }
+    }
+
+    /// The batched GEMM shape: `(count·rows) × cols × inner`.
+    pub fn gemm_shape(&self) -> GemmShape {
+        GemmShape::new(self.count * self.rows, self.cols, self.inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftimm::IrregularType;
+
+    #[test]
+    fn realistic_batch_is_type1() {
+        // 40k P2 tetrahedral elements, 10×10 matrices, 4-column operator.
+        let b = FemBatch::generate(40_000, 10, 10, 4, 11);
+        assert_eq!(b.gemm_shape().m, 400_000);
+        assert_eq!(
+            b.gemm_shape().classify(),
+            IrregularType::TallSkinnyTimesSmall
+        );
+        assert_eq!(b.elements.len(), 400_000 * 10);
+        assert_eq!(b.operator.len(), 40);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = FemBatch::generate(10, 4, 4, 4, 2);
+        let b = FemBatch::generate(10, 4, 4, 4, 2);
+        assert_eq!(a.elements, b.elements);
+    }
+}

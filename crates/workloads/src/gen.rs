@@ -1,0 +1,61 @@
+//! Seeded matrix generators.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic matrix generator.
+pub struct MatrixGen {
+    rng: SmallRng,
+}
+
+impl MatrixGen {
+    /// New generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        MatrixGen {
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// `len` uniform values in `[lo, hi)`.
+    pub fn uniform(&mut self, len: usize, lo: f32, hi: f32) -> Vec<f32> {
+        (0..len).map(|_| self.rng.gen_range(lo..hi)).collect()
+    }
+
+    /// One roughly-normal value (sum of uniforms), scaled by `sigma`.
+    pub fn normalish(&mut self, sigma: f32) -> f32 {
+        let s: f32 = (0..6).map(|_| self.rng.gen_range(-1.0f32..1.0)).sum();
+        s / 6.0 * 3.0 * sigma
+    }
+
+    /// A row-major `rows × cols` matrix with entries in `[-1, 1)`.
+    pub fn matrix(&mut self, rows: usize, cols: usize) -> Vec<f32> {
+        self.uniform(rows * cols, -1.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = MatrixGen::new(3).matrix(10, 10);
+        let b = MatrixGen::new(3).matrix(10, 10);
+        let c = MatrixGen::new(4).matrix(10, 10);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let v = MatrixGen::new(1).uniform(1000, -2.0, 3.0);
+        assert!(v.iter().all(|&x| (-2.0..3.0).contains(&x)));
+    }
+
+    #[test]
+    fn normalish_is_centered() {
+        let mut g = MatrixGen::new(5);
+        let mean: f32 = (0..2000).map(|_| g.normalish(1.0)).sum::<f32>() / 2000.0;
+        assert!(mean.abs() < 0.1, "{mean}");
+    }
+}

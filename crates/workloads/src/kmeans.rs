@@ -1,0 +1,146 @@
+//! K-means distance computation as an irregular GEMM (§I of the paper):
+//! the squared Euclidean distance between `samples × dims` points and
+//! `centroids × dims` centres decomposes as
+//! `‖x‖² + ‖c‖² − 2·X·Cᵀ`, whose dominant cost is the tall-and-skinny
+//! GEMM `X (samples×dims) × Cᵀ (dims×centroids)` with
+//! `samples ≫ centroids ≈ dims` — the paper's type-1 shape.
+
+use crate::gen::MatrixGen;
+use ftimm::GemmShape;
+
+/// A k-means clustering instance.
+#[derive(Debug, Clone)]
+pub struct KmeansInstance {
+    /// Sample matrix, `samples × dims`, row-major.
+    pub points: Vec<f32>,
+    /// Centroid matrix, `centroids × dims`, row-major.
+    pub centroids: Vec<f32>,
+    /// Number of samples.
+    pub samples: usize,
+    /// Number of centroids (clusters).
+    pub k: usize,
+    /// Feature dimensions.
+    pub dims: usize,
+}
+
+impl KmeansInstance {
+    /// Generate a clustered instance: `k` Gaussian-ish blobs.
+    pub fn generate(samples: usize, k: usize, dims: usize, seed: u64) -> Self {
+        let mut gen = MatrixGen::new(seed);
+        let centroids = gen.uniform(k * dims, -10.0, 10.0);
+        let mut points = Vec::with_capacity(samples * dims);
+        for s in 0..samples {
+            let c = s % k;
+            for d in 0..dims {
+                points.push(centroids[c * dims + d] + gen.normalish(0.5));
+            }
+        }
+        KmeansInstance {
+            points,
+            centroids,
+            samples,
+            k,
+            dims,
+        }
+    }
+
+    /// The GEMM shape of the distance step: `samples × k × dims`.
+    pub fn gemm_shape(&self) -> GemmShape {
+        GemmShape::new(self.samples, self.k, self.dims)
+    }
+
+    /// The B operand of the GEMM: `Cᵀ` as a `dims × k` row-major matrix.
+    pub fn centroids_t(&self) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.dims * self.k];
+        for c in 0..self.k {
+            for d in 0..self.dims {
+                out[d * self.k + c] = self.centroids[c * self.dims + d];
+            }
+        }
+        out
+    }
+
+    /// Assign each sample to its nearest centroid given the cross-product
+    /// matrix `xc = X·Cᵀ` (`samples × k`).
+    pub fn assign(&self, xc: &[f32]) -> Vec<usize> {
+        assert_eq!(xc.len(), self.samples * self.k);
+        let c_norm: Vec<f32> = (0..self.k)
+            .map(|c| {
+                self.centroids[c * self.dims..(c + 1) * self.dims]
+                    .iter()
+                    .map(|v| v * v)
+                    .sum()
+            })
+            .collect();
+        (0..self.samples)
+            .map(|s| {
+                let mut best = (f32::INFINITY, 0usize);
+                for c in 0..self.k {
+                    // ‖x‖² is constant per sample; ‖c‖² − 2·x·c decides.
+                    let d = c_norm[c] - 2.0 * xc[s * self.k + c];
+                    if d < best.0 {
+                        best = (d, c);
+                    }
+                }
+                best.1
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_is_type1_for_realistic_sizes() {
+        let inst = KmeansInstance::generate(4096, 16, 32, 7);
+        let shape = inst.gemm_shape();
+        assert_eq!(shape.classify(), ftimm::IrregularType::TallSkinnyTimesSmall);
+        assert_eq!(inst.points.len(), 4096 * 32);
+    }
+
+    #[test]
+    fn transposed_centroids_match() {
+        let inst = KmeansInstance::generate(16, 3, 4, 1);
+        let t = inst.centroids_t();
+        for c in 0..3 {
+            for d in 0..4 {
+                assert_eq!(t[d * 3 + c], inst.centroids[c * 4 + d]);
+            }
+        }
+    }
+
+    #[test]
+    fn assignment_recovers_generating_blobs() {
+        let inst = KmeansInstance::generate(300, 4, 8, 42);
+        // Exact cross products.
+        let mut xc = vec![0.0f32; inst.samples * inst.k];
+        for s in 0..inst.samples {
+            for c in 0..inst.k {
+                xc[s * inst.k + c] = (0..inst.dims)
+                    .map(|d| inst.points[s * inst.dims + d] * inst.centroids[c * inst.dims + d])
+                    .sum();
+            }
+        }
+        let assign = inst.assign(&xc);
+        let correct = assign
+            .iter()
+            .enumerate()
+            .filter(|(s, &c)| c == s % inst.k)
+            .count();
+        assert!(
+            correct as f64 > 0.95 * inst.samples as f64,
+            "only {correct}/{} recovered",
+            inst.samples
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = KmeansInstance::generate(64, 4, 8, 9);
+        let b = KmeansInstance::generate(64, 4, 8, 9);
+        assert_eq!(a.points, b.points);
+        assert_eq!(a.centroids, b.centroids);
+    }
+}

@@ -1,0 +1,20 @@
+//! # workloads
+//!
+//! Generators for the application workloads that motivate irregular GEMMs
+//! in the paper's introduction: k-means distance computation, im2col-ed
+//! CNN convolution layers, and FEM-style batched small matrices.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod conv;
+pub mod fem;
+pub mod gen;
+pub mod kmeans;
+pub mod transformer;
+
+pub use conv::{resnet_layers, vgg16_layers, ConvLayer};
+pub use fem::FemBatch;
+pub use gen::MatrixGen;
+pub use kmeans::KmeansInstance;
+pub use transformer::{gpt2_medium_head_projections, llama_like_head_projections, AttnProjection};

@@ -1,0 +1,59 @@
+//! Dynamic adjusting in action: show the blocks and strategy ftIMM's
+//! auto-tuner picks for a range of shapes, with predicted times for the
+//! alternatives.
+//!
+//! Run: `cargo run --release --example autotune`
+
+use dspsim::HwConfig;
+use ftimm::{ChosenStrategy, FtImm, GemmShape, Strategy};
+
+fn main() {
+    let ft = FtImm::new(HwConfig::default());
+    let cores = 8;
+
+    println!("Initial CMR-derived blocks (cf. §IV-C of the paper):");
+    let mp = ftimm::initial_mpar(ft.cache(), ft.cfg(), cores);
+    let kp = ftimm::initial_kpar(ft.cache(), ft.cfg(), cores);
+    println!("  M-par: {mp:?}");
+    println!("  K-par: {kp:?}\n");
+
+    println!(
+        "{:>20} {:>28} {:>12} {:>12} {:>9}",
+        "shape", "chosen", "t(M-par)", "t(K-par)", "win"
+    );
+    for (m, n, k) in [
+        (1 << 16, 32, 32),
+        (1 << 20, 16, 16),
+        (32, 32, 1 << 16),
+        (64, 64, 1 << 20),
+        (20480, 32, 20480),
+        (20480, 96, 20480),
+        (4096, 48, 4096),
+        (512, 32, 512),
+    ] {
+        let shape = GemmShape::new(m, n, k);
+        let plan = ft.plan(&shape, Strategy::Auto, cores);
+        let t_m = ft.predict_seconds(&shape, &ft.plan(&shape, Strategy::MPar, cores), cores);
+        let t_k = ft.predict_seconds(&shape, &ft.plan(&shape, Strategy::KPar, cores), cores);
+        let (tag, blocks) = match &plan {
+            ChosenStrategy::MPar(b) => (
+                "M-par",
+                format!("ka={} ma={} ms={} na={}", b.k_a, b.m_a, b.m_s, b.n_a),
+            ),
+            ChosenStrategy::KPar(b) => (
+                "K-par",
+                format!("ka={} ma={} ms={} na={}", b.k_a, b.m_a, b.m_s, b.n_a),
+            ),
+            ChosenStrategy::TGemm => ("TGEMM", String::new()),
+        };
+        println!(
+            "{:>20} {:>6} {:>21} {:>10.3}ms {:>10.3}ms {:>8}",
+            shape.to_string(),
+            tag,
+            blocks,
+            t_m * 1e3,
+            t_k * 1e3,
+            if t_m <= t_k { "M-par" } else { "K-par" }
+        );
+    }
+}

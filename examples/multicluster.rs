@@ -1,0 +1,50 @@
+//! Extension demo: scaling one irregular GEMM across all four GPDSP
+//! clusters of FT-m7032 (the paper evaluates a single cluster; §II
+//! describes four, each with a private 42.6 GB/s DDR partition).
+//!
+//! Run: `cargo run --release --example multicluster`
+
+use dspsim::{ExecMode, HwConfig};
+use ftimm::{ClusterGrid, FtImm, GemmShape, Strategy};
+
+fn main() {
+    let ft = FtImm::new(HwConfig::default());
+    let shapes = [
+        GemmShape::new(1 << 20, 32, 32),
+        GemmShape::new(1 << 20, 96, 96),
+        GemmShape::new(20480, 32, 20480),
+    ];
+    println!(
+        "{:>18} {:>12} {:>12} {:>12} {:>9}",
+        "shape", "1 cluster", "2 clusters", "4 clusters", "speedup"
+    );
+    for shape in shapes {
+        let mut gf = Vec::new();
+        for clusters in [1usize, 2, 4] {
+            let mut grid = ClusterGrid::new(ft.cfg(), ExecMode::Timing, clusters);
+            let mut c = Vec::new();
+            let report = grid
+                .gemm(
+                    &ft,
+                    shape.m,
+                    shape.n,
+                    shape.k,
+                    &[],
+                    &[],
+                    &mut c,
+                    Strategy::Auto,
+                    8,
+                )
+                .unwrap();
+            gf.push(report.gflops());
+        }
+        println!(
+            "{:>18} {:>10.1}GF {:>10.1}GF {:>10.1}GF {:>8.2}x",
+            shape.to_string(),
+            gf[0],
+            gf[1],
+            gf[2],
+            gf[2] / gf[0]
+        );
+    }
+}

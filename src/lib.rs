@@ -1,0 +1,11 @@
+//! Umbrella crate for the ftIMM reproduction workspace.
+//!
+//! Re-exports the public crates so examples and integration tests can use a
+//! single dependency. See README.md for the tour.
+
+pub use cpublas;
+pub use dspsim;
+pub use ftimm;
+pub use ftimm_isa as isa;
+pub use kernelgen;
+pub use workloads;
