@@ -1,11 +1,12 @@
 //! The public ftIMM entry point.
 
 use crate::{
-    adjust, run_kpar, run_mpar, run_tgemm, ChosenStrategy, FtimmError, GemmProblem, GemmShape,
-    TgemmParams,
+    adjust, resilience, run_kpar, run_mpar, run_tgemm, ChosenStrategy, FtimmError, GemmProblem,
+    GemmShape, TgemmParams,
 };
-use dspsim::{ExecMode, HwConfig, Machine, RunReport};
+use dspsim::{ExecMode, HwConfig, Machine, RunReport, SimError};
 use kernelgen::KernelCache;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Strategy requested by the caller.
@@ -30,6 +31,9 @@ pub enum Strategy {
 pub struct FtImm {
     cfg: HwConfig,
     cache: Arc<KernelCache>,
+    /// Shapes the planner failed to evaluate (capacity or generation
+    /// limits): each counted evaluation returned `f64::INFINITY`.
+    planning_failures: AtomicU64,
 }
 
 impl FtImm {
@@ -38,6 +42,7 @@ impl FtImm {
         FtImm {
             cache: Arc::new(KernelCache::new(cfg.clone())),
             cfg,
+            planning_failures: AtomicU64::new(0),
         }
     }
 
@@ -94,14 +99,44 @@ impl FtImm {
     }
 
     /// Predicted execution time of a plan on the timing model.
+    ///
+    /// A plan that cannot run at all — the problem does not fit the
+    /// modelled DDR, a kernel cannot be generated for its blocks, or the
+    /// shape is invalid — predicts `f64::INFINITY`, so candidate ranking
+    /// naturally discards it.  Any *other* failure is a planner bug: it
+    /// trips a debug assertion (and still predicts `INFINITY` in release
+    /// builds).  Both cases tick [`FtImm::planning_failures`].
     pub fn predict_seconds(&self, shape: &GemmShape, plan: &ChosenStrategy, cores: usize) -> f64 {
         let mut m = Machine::new(self.cfg.clone(), ExecMode::Timing);
         let p = match GemmProblem::alloc(&mut m, shape.m, shape.n, shape.k) {
             Ok(p) => p,
-            Err(_) => return f64::INFINITY,
+            Err(e) => return self.note_planning_failure(&FtimmError::Sim(e)),
         };
-        let r = self.run_plan(&mut m, &p, plan, cores);
-        r.map_or(f64::INFINITY, |r| r.seconds)
+        match self.run_plan(&mut m, &p, plan, cores) {
+            Ok(r) => r.seconds,
+            Err(e) => self.note_planning_failure(&e),
+        }
+    }
+
+    /// Count a failed plan evaluation; unexpected error kinds indicate a
+    /// planner bug and assert in debug builds.
+    fn note_planning_failure(&self, e: &FtimmError) -> f64 {
+        let capacity = matches!(
+            e,
+            FtimmError::Invalid(_)
+                | FtimmError::Gen(_)
+                | FtimmError::Sim(SimError::AllocFailure { .. })
+                | FtimmError::Sim(SimError::OutOfBounds { .. })
+        );
+        debug_assert!(capacity, "unexpected planning failure: {e}");
+        self.planning_failures.fetch_add(1, Ordering::Relaxed);
+        f64::INFINITY
+    }
+
+    /// How many plan evaluations have failed (and predicted `INFINITY`)
+    /// over this context's lifetime.
+    pub fn planning_failures(&self) -> u64 {
+        self.planning_failures.load(Ordering::Relaxed)
     }
 
     /// Execute a resolved plan.
@@ -112,11 +147,42 @@ impl FtImm {
         plan: &ChosenStrategy,
         cores: usize,
     ) -> Result<RunReport, FtimmError> {
+        p.validate().map_err(FtimmError::Invalid)?;
         match plan {
             ChosenStrategy::MPar(bl) => run_mpar(m, &self.cache, p, bl, cores),
             ChosenStrategy::KPar(bl) => run_kpar(m, &self.cache, p, bl, cores),
             ChosenStrategy::TGemm => run_tgemm(m, &self.cache, p, &TgemmParams::default(), cores),
         }
+    }
+
+    /// Execute a resolved plan under the resilience layer: ABFT-checked,
+    /// retried on injected faults, degraded onto surviving cores.
+    pub fn run_plan_resilient(
+        &self,
+        m: &mut Machine,
+        p: &GemmProblem,
+        plan: &ChosenStrategy,
+        cores: usize,
+        rcfg: &resilience::ResilienceConfig,
+    ) -> Result<RunReport, FtimmError> {
+        resilience::run_resilient(self, m, p, plan, cores, rcfg)
+    }
+
+    /// Plan and execute resiliently in one call (the fault-tolerant
+    /// analogue of [`FtImm::gemm`]).
+    pub fn gemm_resilient(
+        &self,
+        m: &mut Machine,
+        p: &GemmProblem,
+        strategy: Strategy,
+        cores: usize,
+        rcfg: &resilience::ResilienceConfig,
+    ) -> Result<(RunReport, ChosenStrategy), FtimmError> {
+        p.validate().map_err(FtimmError::Invalid)?;
+        let shape = GemmShape::new(p.m(), p.n(), p.k());
+        let plan = self.plan(&shape, strategy, cores);
+        let report = resilience::run_resilient(self, m, p, &plan, cores, rcfg)?;
+        Ok((report, plan))
     }
 
     /// `C += A × B`: plan and execute in one call.  Returns the run
@@ -142,6 +208,7 @@ impl FtImm {
         p: &GemmProblem,
         cores: usize,
     ) -> Result<RunReport, FtimmError> {
+        p.validate().map_err(FtimmError::Invalid)?;
         run_tgemm(m, &self.cache, p, &TgemmParams::default(), cores)
     }
 }
@@ -157,6 +224,40 @@ mod tests {
         assert!(matches!(p1, ChosenStrategy::MPar(_)));
         let p2 = ft.plan(&GemmShape::new(32, 32, 1 << 16), Strategy::Rules, 8);
         assert!(matches!(p2, ChosenStrategy::KPar(_)));
+    }
+
+    #[test]
+    fn invalid_problems_are_rejected_up_front() {
+        let ft = FtImm::new(HwConfig::default());
+        let mut m = Machine::with_mode(ExecMode::Fast);
+        let p = GemmProblem::alloc(&mut m, 8, 8, 8).unwrap();
+        // C with the wrong shape: caught before any core runs.
+        let bad = GemmProblem {
+            a: p.a,
+            b: p.b,
+            c: p.c.view(0, 0, 4, 4),
+        };
+        for r in [
+            ft.run_plan(&mut m, &bad, &ChosenStrategy::TGemm, 4),
+            ft.tgemm(&mut m, &bad, 4),
+        ] {
+            assert!(matches!(r, Err(FtimmError::Invalid(_))), "got {r:?}");
+        }
+        assert!(matches!(
+            ft.gemm(&mut m, &bad, Strategy::Auto, 4),
+            Err(FtimmError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn impossible_plans_predict_infinity_and_are_counted() {
+        let ft = FtImm::new(HwConfig::default());
+        // A shape far beyond the modelled DDR partition cannot allocate.
+        let huge = GemmShape::new(1 << 22, 1 << 22, 4);
+        let plan = ChosenStrategy::TGemm;
+        assert_eq!(ft.planning_failures(), 0);
+        assert_eq!(ft.predict_seconds(&huge, &plan, 8), f64::INFINITY);
+        assert_eq!(ft.planning_failures(), 1);
     }
 
     #[test]

@@ -18,6 +18,7 @@ pub fn invoke_kernel(
     kernel: &MicroKernel,
     bind: KernelBindings,
 ) -> Result<(), FtimmError> {
+    m.check_core_alive(core)?;
     match m.mode {
         ExecMode::Interpret => {
             m.run_kernel(core, &kernel.program, bind, true)?;

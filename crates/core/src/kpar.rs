@@ -36,7 +36,7 @@ pub fn run_kpar(
 ) -> Result<RunReport, FtimmError> {
     p.validate().map_err(FtimmError::Invalid)?;
     let (mm, nn, kk) = (p.m(), p.n(), p.k());
-    let cores = cores.clamp(1, m.cfg.cores_per_cluster);
+    let cores = cores.clamp(1, m.alive_cores().min(m.cfg.cores_per_cluster));
 
     // K slices of k_a, round-robin over cores (Algorithm 5 line 7).
     let slices: Vec<usize> = (0..kk).step_by(bl.k_a).collect();

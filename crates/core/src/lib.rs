@@ -44,6 +44,7 @@ pub mod kpar;
 pub mod matrix;
 pub mod mpar;
 pub mod reference;
+pub mod resilience;
 pub mod roofline;
 pub mod shape;
 pub mod tgemm;
@@ -60,5 +61,6 @@ pub use invoke::invoke_kernel;
 pub use kpar::{run_kpar, KparBlocks};
 pub use matrix::{DdrMatrix, GemmProblem};
 pub use mpar::{run_mpar, MparBlocks};
+pub use resilience::{max_abs_error_vs_oracle, run_resilient, ResilienceConfig};
 pub use shape::{GemmShape, IrregularType};
 pub use tgemm::{run_tgemm, TgemmParams};

@@ -36,7 +36,7 @@ pub fn run_mpar(
 ) -> Result<RunReport, FtimmError> {
     p.validate().map_err(FtimmError::Invalid)?;
     let (mm, nn, kk) = (p.m(), p.n(), p.k());
-    let cores = cores.clamp(1, m.cfg.cores_per_cluster);
+    let cores = cores.clamp(1, m.alive_cores().min(m.cfg.cores_per_cluster));
 
     // Row chunks of m_a, round-robin over cores (Algorithm 4 line 4).
     let chunks: Vec<usize> = (0..mm).step_by(bl.m_a).collect();

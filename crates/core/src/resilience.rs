@@ -1,0 +1,387 @@
+//! Resilient GEMM execution: ABFT checksums, bounded retries, and
+//! graceful degradation onto surviving cores.
+//!
+//! [`run_resilient`] wraps any resolved plan ([`ChosenStrategy`]) with a
+//! recovery loop:
+//!
+//! * **Silent data corruption** (injected DMA payload corruption or
+//!   scratchpad bit flips) is caught after the run by algorithm-based
+//!   fault tolerance: row and column checksums of the final `C` are
+//!   compared against checksums predicted in `f64` from host snapshots of
+//!   `A`, `B` and the initial `C`.  Suspect rows are restored from the
+//!   snapshot and only that row range is re-executed, which is bit-exact
+//!   with a fault-free run (per-element accumulation order depends only
+//!   on block sizes, not on row partitioning).
+//! * **DMA timeouts** abort the run mid-flight; `C` is restored in full
+//!   and the run retried after an exponential backoff charged on the
+//!   simulated clock.
+//! * **Core failures** retire the dead core from the machine's
+//!   logical→physical map and re-run on the survivors.  M-parallel and
+//!   TGEMM re-runs stay bit-exact; K-parallel re-runs regroup the GSM
+//!   reduction and are only numerically (not bitwise) equivalent.
+//!
+//! The checksum *verification* itself is host-side bookkeeping and is
+//! modelled as free; only recovery work (backoff stalls, restored
+//! transfers, re-executed tiles) is charged on the timing model.  With an
+//! empty fault plan the wrapper adds no simulated time and no stat
+//! perturbation: the run report is bit-identical to an unwrapped run.
+
+use crate::{ChosenStrategy, DdrMatrix, FtImm, FtimmError, GemmProblem};
+use dspsim::{Machine, RunReport, SimError};
+
+/// Tuning knobs for the recovery loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResilienceConfig {
+    /// Recovery attempts allowed before giving up with
+    /// [`dspsim::SimError::DataCorrupt`] (or the underlying error).
+    pub max_retries: u32,
+    /// First backoff stall in simulated seconds; doubles per attempt.
+    pub backoff_base_s: f64,
+    /// Relative ABFT tolerance: a checksum mismatch larger than
+    /// `abft_tol * (1 + |expected| + Σ|c_row|)` flags the row/column.
+    /// The default sits ~30× above the f32 rounding noise of the checked
+    /// row/column sums while staying below the smallest error a single
+    /// exponent-bit flip can cause; very deep problems (K ≫ 10⁴) may need
+    /// it loosened.
+    pub abft_tol: f64,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig {
+            max_retries: 4,
+            backoff_base_s: 1e-6,
+            abft_tol: 1e-6,
+        }
+    }
+}
+
+/// Host-side ABFT reference state: snapshots taken before the first run
+/// and the `f64` checksums the finished `C` must reproduce.
+struct AbftRef {
+    /// Initial `C` (dense `m × n`), for restoring corrupted rows.
+    c0: Vec<f32>,
+    /// Expected final row sums: `Σ_j c0[i][j] + Σ_k a[i][k]·rowsum(B)[k]`.
+    expected_row: Vec<f64>,
+    /// Expected final column sums.
+    expected_col: Vec<f64>,
+}
+
+impl AbftRef {
+    fn capture(m: &mut Machine, p: &GemmProblem) -> Result<Self, FtimmError> {
+        let (mm, nn, kk) = (p.m(), p.n(), p.k());
+        let a = p.a.download(m).map_err(FtimmError::Sim)?;
+        let b = p.b.download(m).map_err(FtimmError::Sim)?;
+        let c0 = p.c.download(m).map_err(FtimmError::Sim)?;
+        // rowsum(B)[k] = Σ_j b[k][j];  colsum(A)[k] = Σ_i a[i][k].
+        let mut b_rowsum = vec![0.0f64; kk];
+        for k in 0..kk {
+            for j in 0..nn {
+                b_rowsum[k] += b[k * nn + j] as f64;
+            }
+        }
+        let mut a_colsum = vec![0.0f64; kk];
+        for i in 0..mm {
+            for k in 0..kk {
+                a_colsum[k] += a[i * kk + k] as f64;
+            }
+        }
+        let mut expected_row = vec![0.0f64; mm];
+        for i in 0..mm {
+            let mut s = 0.0f64;
+            for j in 0..nn {
+                s += c0[i * nn + j] as f64;
+            }
+            for k in 0..kk {
+                s += a[i * kk + k] as f64 * b_rowsum[k];
+            }
+            expected_row[i] = s;
+        }
+        let mut expected_col = vec![0.0f64; nn];
+        for j in 0..nn {
+            let mut s = 0.0f64;
+            for i in 0..mm {
+                s += c0[i * nn + j] as f64;
+            }
+            for k in 0..kk {
+                s += a_colsum[k] * b[k * nn + j] as f64;
+            }
+            expected_col[j] = s;
+        }
+        Ok(AbftRef {
+            c0,
+            expected_row,
+            expected_col,
+        })
+    }
+
+    /// Check the finished `C`; `None` when clean, otherwise the smallest
+    /// contiguous row range `[r0, r1)` covering every suspect row (a
+    /// column-only mismatch — a compensated row — flags everything).
+    fn verify(
+        &self,
+        m: &mut Machine,
+        p: &GemmProblem,
+        tol: f64,
+    ) -> Result<Option<(usize, usize)>, FtimmError> {
+        let (mm, nn) = (p.m(), p.n());
+        let c = p.c.download(m).map_err(FtimmError::Sim)?;
+        let mut bad_rows: Option<(usize, usize)> = None;
+        for i in 0..mm {
+            let (mut sum, mut mag) = (0.0f64, 0.0f64);
+            for j in 0..nn {
+                let v = c[i * nn + j] as f64;
+                sum += v;
+                mag += v.abs();
+            }
+            let e = self.expected_row[i];
+            // A corrupted exponent can overflow f32 to inf/NaN, making the
+            // sum non-finite; `>` alone would let that pass silently.
+            if !sum.is_finite() || (sum - e).abs() > tol * (1.0 + e.abs() + mag) {
+                bad_rows = Some(match bad_rows {
+                    None => (i, i + 1),
+                    Some((r0, _)) => (r0, i + 1),
+                });
+            }
+        }
+        if bad_rows.is_some() {
+            return Ok(bad_rows);
+        }
+        for j in 0..nn {
+            let (mut sum, mut mag) = (0.0f64, 0.0f64);
+            for i in 0..mm {
+                let v = c[i * nn + j] as f64;
+                sum += v;
+                mag += v.abs();
+            }
+            let e = self.expected_col[j];
+            if !sum.is_finite() || (sum - e).abs() > tol * (1.0 + e.abs() + mag) {
+                return Ok(Some((0, mm)));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Restore rows `[r0, r1)` of `C` to their pre-run contents.
+    fn restore_rows(
+        &self,
+        m: &mut Machine,
+        p: &GemmProblem,
+        r0: usize,
+        r1: usize,
+    ) -> Result<(), FtimmError> {
+        let nn = p.n();
+        p.c.view(r0, 0, r1 - r0, nn)
+            .upload(m, &self.c0[r0 * nn..r1 * nn])
+            .map_err(FtimmError::Sim)
+    }
+}
+
+/// The row-restricted sub-problem `C[r0..r1, :] += A[r0..r1, :] × B`.
+fn row_span(p: &GemmProblem, r0: usize, r1: usize) -> GemmProblem {
+    GemmProblem {
+        a: p.a.view(r0, 0, r1 - r0, p.k()),
+        b: p.b,
+        c: p.c.view(r0, 0, r1 - r0, p.n()),
+    }
+}
+
+/// Charge an exponential backoff stall on every core that will take part
+/// in the next attempt.
+fn backoff(m: &mut Machine, cores: usize, rcfg: &ResilienceConfig, attempt: u32) {
+    if rcfg.backoff_base_s <= 0.0 {
+        return;
+    }
+    let stall = rcfg.backoff_base_s * f64::from(1u32 << attempt.min(20).saturating_sub(1));
+    for id in 0..cores.clamp(1, m.alive_cores()) {
+        m.stall(id, stall);
+    }
+}
+
+/// Execute a resolved plan with ABFT verification, bounded retries and
+/// graceful core degradation.  See the module docs for the fault model.
+pub fn run_resilient(
+    ft: &FtImm,
+    m: &mut Machine,
+    p: &GemmProblem,
+    plan: &ChosenStrategy,
+    cores: usize,
+    rcfg: &ResilienceConfig,
+) -> Result<RunReport, FtimmError> {
+    p.validate().map_err(FtimmError::Invalid)?;
+    let functional = m.mode.is_functional();
+    let abft = if functional {
+        Some(AbftRef::capture(m, p)?)
+    } else {
+        None
+    };
+
+    let mut retries = 0u64;
+    let mut recomputed = 0u64;
+    let mut attempt = 0u32;
+    // Rows still to (re-)execute; verification may re-open a span.
+    let mut pending = Some((0usize, p.m()));
+
+    loop {
+        if let Some((r0, r1)) = pending {
+            let sub = row_span(p, r0, r1);
+            match ft.run_plan(m, &sub, plan, cores) {
+                Ok(_) => pending = None,
+                Err(e @ FtimmError::Sim(SimError::DmaTimeout { .. })) => {
+                    if attempt >= rcfg.max_retries {
+                        return Err(e);
+                    }
+                    attempt += 1;
+                    retries += 1;
+                    recomputed += 1;
+                    backoff(m, cores, rcfg, attempt);
+                    // The aborted run may have stored partial C panels:
+                    // restore the whole matrix and start over.
+                    if let Some(r) = &abft {
+                        r.restore_rows(m, p, 0, p.m())?;
+                    }
+                    pending = Some((0, p.m()));
+                }
+                Err(FtimmError::Sim(SimError::CoreFailed { core, at })) => {
+                    m.retire_core(core);
+                    if m.alive_cores() == 0 || attempt >= rcfg.max_retries {
+                        return Err(FtimmError::Sim(SimError::CoreFailed { core, at }));
+                    }
+                    attempt += 1;
+                    retries += 1;
+                    recomputed += 1;
+                    backoff(m, cores, rcfg, attempt);
+                    if let Some(r) = &abft {
+                        r.restore_rows(m, p, 0, p.m())?;
+                    }
+                    pending = Some((0, p.m()));
+                }
+                Err(e) => return Err(e),
+            }
+            continue;
+        }
+        match &abft {
+            None => break,
+            Some(r) => match r.verify(m, p, rcfg.abft_tol)? {
+                None => break,
+                Some((r0, r1)) => {
+                    if attempt >= rcfg.max_retries {
+                        return Err(FtimmError::Sim(SimError::DataCorrupt {
+                            region: "DDR",
+                            offset: p.c.elem_off(r0, 0),
+                        }));
+                    }
+                    attempt += 1;
+                    retries += 1;
+                    recomputed += 1;
+                    backoff(m, cores, rcfg, attempt);
+                    r.restore_rows(m, p, r0, r1)?;
+                    pending = Some((r0, r1));
+                }
+            },
+        }
+    }
+
+    let ids: Vec<usize> = (0..cores.clamp(1, m.alive_cores())).collect();
+    let mut rep = m.report(p.flops(), &ids);
+    rep.faults.retries = retries;
+    rep.faults.recomputed_tiles = recomputed;
+    Ok(rep)
+}
+
+/// A [`DdrMatrix`]-level convenience: verify a finished `C` against a
+/// host oracle (`f64` accumulate), returning the worst absolute error.
+/// Used by the chaos tests to validate degraded K-parallel runs whose
+/// reduction regrouping changes bit patterns but not mathematics.
+pub fn max_abs_error_vs_oracle(
+    m: &mut Machine,
+    c: &DdrMatrix,
+    oracle: &[f64],
+) -> Result<f64, FtimmError> {
+    let got = c.download(m).map_err(FtimmError::Sim)?;
+    Ok(got
+        .iter()
+        .zip(oracle)
+        .map(|(&g, &o)| (g as f64 - o).abs())
+        .fold(0.0, f64::max))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{reference, Strategy};
+    use dspsim::{ExecMode, FaultPlan, HwConfig};
+
+    fn problem(m: &mut Machine, mm: usize, nn: usize, kk: usize) -> GemmProblem {
+        let p = GemmProblem::alloc(m, mm, nn, kk).unwrap();
+        p.a.upload(m, &reference::fill_matrix(mm * kk, 1)).unwrap();
+        p.b.upload(m, &reference::fill_matrix(kk * nn, 2)).unwrap();
+        p.c.upload(m, &reference::fill_matrix(mm * nn, 3)).unwrap();
+        p
+    }
+
+    #[test]
+    fn fault_free_resilient_run_matches_plain_run_bitwise() {
+        let ft = FtImm::new(HwConfig::default());
+        let mut m1 = Machine::with_mode(ExecMode::Fast);
+        let p1 = problem(&mut m1, 64, 24, 48);
+        let plan = ft.plan(&crate::GemmShape::new(64, 24, 48), Strategy::MPar, 4);
+        let plain = ft.run_plan(&mut m1, &p1, &plan, 4).unwrap();
+        let c_plain = p1.c.download(&mut m1).unwrap();
+
+        let mut m2 = Machine::with_mode(ExecMode::Fast);
+        let p2 = problem(&mut m2, 64, 24, 48);
+        let resil =
+            run_resilient(&ft, &mut m2, &p2, &plan, 4, &ResilienceConfig::default()).unwrap();
+        let c_resil = p2.c.download(&mut m2).unwrap();
+
+        assert_eq!(plain.seconds.to_bits(), resil.seconds.to_bits());
+        assert_eq!(plain.totals, resil.totals);
+        assert_eq!(resil.faults.retries, 0);
+        assert_eq!(resil.faults.injected(), 0);
+        for (a, b) in c_plain.iter().zip(&c_resil) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn abft_catches_a_seeded_flip_and_recovers() {
+        let ft = FtImm::new(HwConfig::default());
+        let mut m = Machine::with_mode(ExecMode::Fast);
+        let p = problem(&mut m, 64, 24, 48);
+        m.install_faults(&FaultPlan::new(9).corrupt_dma(dspsim::DmaPath::DdrToAm, 2));
+        let plan = ft.plan(&crate::GemmShape::new(64, 24, 48), Strategy::MPar, 4);
+        let rep = run_resilient(&ft, &mut m, &p, &plan, 4, &ResilienceConfig::default()).unwrap();
+        assert_eq!(rep.faults.dma_corruptions, 1);
+        assert!(rep.faults.retries >= 1);
+        assert!(rep.faults.recomputed_tiles >= 1);
+
+        // Recovered C is bit-identical to a fault-free run.
+        let mut m2 = Machine::with_mode(ExecMode::Fast);
+        let p2 = problem(&mut m2, 64, 24, 48);
+        ft.run_plan(&mut m2, &p2, &plan, 4).unwrap();
+        let want = p2.c.download(&mut m2).unwrap();
+        let got = p.c.download(&mut m).unwrap();
+        for (a, b) in want.iter().zip(&got) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn zero_retry_budget_surfaces_corruption() {
+        let ft = FtImm::new(HwConfig::default());
+        let mut m = Machine::with_mode(ExecMode::Fast);
+        let p = problem(&mut m, 64, 24, 48);
+        m.install_faults(&FaultPlan::new(3).corrupt_dma(dspsim::DmaPath::DdrToAm, 1));
+        let plan = ft.plan(&crate::GemmShape::new(64, 24, 48), Strategy::MPar, 4);
+        let rcfg = ResilienceConfig {
+            max_retries: 0,
+            ..ResilienceConfig::default()
+        };
+        let err = run_resilient(&ft, &mut m, &p, &plan, 4, &rcfg).unwrap_err();
+        assert!(
+            matches!(err, FtimmError::Sim(SimError::DataCorrupt { .. })),
+            "got {err}"
+        );
+    }
+}

@@ -44,7 +44,7 @@ pub fn run_tgemm(
     p.validate().map_err(FtimmError::Invalid)?;
     let (mm, nn, kk) = (p.m(), p.n(), p.k());
     let tp = *params;
-    let cores = cores.clamp(1, m.cfg.cores_per_cluster);
+    let cores = cores.clamp(1, m.alive_cores().min(m.cfg.cores_per_cluster));
 
     // Column chunks of n_a, assigned round-robin over cores (Algorithm 1
     // line 5: the parallel loop over t).

@@ -45,6 +45,30 @@ pub enum SimError {
     },
     /// ISA-level validation error surfaced during execution.
     Isa(ftimm_isa::IsaError),
+    /// An injected fault made a DMA transfer hang past the watchdog.
+    DmaTimeout {
+        /// Physical core whose engine issued the transfer.
+        core: usize,
+        /// The path the transfer used.
+        path: crate::DmaPath,
+        /// Simulated time at which the watchdog fired.
+        at: f64,
+    },
+    /// A core failed permanently (injected at a scheduled simulated time).
+    CoreFailed {
+        /// The physical core that died.
+        core: usize,
+        /// Simulated time of the failure.
+        at: f64,
+    },
+    /// Data failed an integrity check (raised by recovery layers when
+    /// corruption survives their retry budget).
+    DataCorrupt {
+        /// Region name the corruption was detected in.
+        region: &'static str,
+        /// Byte offset of (or near) the corrupted data.
+        offset: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -80,6 +104,16 @@ impl fmt::Display for SimError {
                 "allocation of {requested} B failed in {region} ({available} B free)"
             ),
             SimError::Isa(e) => write!(f, "isa error: {e}"),
+            SimError::DmaTimeout { core, path, at } => write!(
+                f,
+                "dma timeout: core {core} transfer over {path:?} hung (watchdog at {at:.6e}s)"
+            ),
+            SimError::CoreFailed { core, at } => {
+                write!(f, "core {core} failed permanently at {at:.6e}s")
+            }
+            SimError::DataCorrupt { region, offset } => {
+                write!(f, "data corruption detected in {region} near byte {offset}")
+            }
         }
     }
 }

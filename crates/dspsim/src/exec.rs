@@ -244,14 +244,17 @@ impl Machine {
         bind: KernelBindings,
         check_hazards: bool,
     ) -> Result<ExecReport, SimError> {
+        self.check_core_alive(id)?;
         let lat = self.cfg.latencies;
-        let core = &mut self.cluster.cores[id];
+        let cycle_s = self.cfg.cycle_s();
+        let phys = self.physical_core(id);
+        let core = &mut self.cluster.cores[phys];
         let report = run_program(core, program, bind, &lat, check_hazards)?;
         core.stats.instructions += report.instructions;
         core.stats.flops += 2 * report.fma_lanes;
         core.stats.kernel_calls += 1;
         core.stats.compute_cycles += report.cycles;
-        core.t_compute += report.cycles as f64 * self.cfg.cycle_s();
+        core.t_compute += report.cycles as f64 * cycle_s;
         Ok(report)
     }
 }

@@ -23,6 +23,7 @@ pub mod core;
 pub mod dma;
 pub mod error;
 pub mod exec;
+pub mod fault;
 pub mod machine;
 pub mod mem;
 pub mod stats;
@@ -33,7 +34,8 @@ pub use config::HwConfig;
 pub use dma::{transfer_time, Dma2d, DmaPath, DmaTicket};
 pub use error::SimError;
 pub use exec::{run_program, ExecReport, KernelBindings};
+pub use fault::{CoreFailure, DmaFault, DmaFaultKind, FaultPlan, MemFault, MemTarget};
 pub use machine::{Cluster, ExecMode, Machine, DDR_CAPACITY};
 pub use mem::MemRegion;
-pub use stats::{CoreStats, RunReport};
+pub use stats::{CoreStats, FaultStats, RunReport};
 pub use trace::{run_traced, ExecTrace};

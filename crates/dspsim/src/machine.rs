@@ -1,8 +1,9 @@
 //! The machine: DDR, one GPDSP cluster, DMA execution and timing.
 
+use crate::fault::{splitmix64, DmaFaultKind, FaultState, MemTarget};
 use crate::{
-    transfer_time, Core, CoreStats, Dma2d, DmaPath, DmaTicket, HwConfig, MemRegion, RunReport,
-    SimError,
+    transfer_time, Core, CoreStats, Dma2d, DmaPath, DmaTicket, FaultPlan, FaultStats, HwConfig,
+    MemRegion, RunReport, SimError,
 };
 use serde::{Deserialize, Serialize};
 
@@ -49,6 +50,12 @@ pub struct Machine {
     pub cluster: Cluster,
     /// DMA streams assumed concurrently active (bandwidth contention).
     active_streams: usize,
+    /// Logical→physical core map.  Identity at construction; retiring a
+    /// failed core removes it here, so callers keep using dense logical
+    /// ids `0..alive_cores()` while the dead core's state is left behind.
+    core_map: Vec<usize>,
+    /// Armed fault-injection state (empty unless a plan is installed).
+    fault: FaultState,
 }
 
 /// Default modelled DDR partition capacity (64 GiB — large enough for the
@@ -61,6 +68,7 @@ impl Machine {
         let cores = (0..cfg.cores_per_cluster)
             .map(|id| Core::new(id, &cfg))
             .collect();
+        let core_map = (0..cfg.cores_per_cluster).collect();
         Machine {
             cluster: Cluster {
                 gsm: MemRegion::fixed("GSM", cfg.gsm_bytes),
@@ -70,6 +78,8 @@ impl Machine {
             mode,
             ddr: MemRegion::growable("DDR", DDR_CAPACITY),
             active_streams: 1,
+            core_map,
+            fault: FaultState::default(),
         }
     }
 
@@ -96,40 +106,119 @@ impl Machine {
         }
     }
 
-    /// Access a core.
+    /// Access a core by logical id.
     pub fn core(&self, id: usize) -> &Core {
-        &self.cluster.cores[id]
+        &self.cluster.cores[self.core_map[id]]
     }
 
-    /// Mutable access to a core.
+    /// Mutable access to a core by logical id.
     pub fn core_mut(&mut self, id: usize) -> &mut Core {
-        &mut self.cluster.cores[id]
+        &mut self.cluster.cores[self.core_map[id]]
+    }
+
+    /// Physical index behind a logical core id.
+    pub fn physical_core(&self, id: usize) -> usize {
+        self.core_map[id]
+    }
+
+    /// Number of cores still alive (not retired after failure).
+    pub fn alive_cores(&self) -> usize {
+        self.core_map.len()
     }
 
     /// Simulated time of a core's compute clock.
     pub fn core_time(&self, id: usize) -> f64 {
-        self.cluster.cores[id].t_compute
+        self.cluster.cores[self.core_map[id]].t_compute
     }
 
-    /// Latest compute time over all cores (simulated makespan).
+    /// Latest compute time over all *alive* cores (simulated makespan).
     pub fn elapsed(&self) -> f64 {
-        self.cluster
-            .cores
+        self.core_map
             .iter()
-            .map(|c| c.t_compute.max(c.t_dma_free))
+            .map(|&p| {
+                let c = &self.cluster.cores[p];
+                c.t_compute.max(c.t_dma_free)
+            })
             .fold(0.0, f64::max)
+    }
+
+    /// Install a fault-injection plan: arms the DMA/core faults in the
+    /// machine and schedules the scratchpad bit flips in their target
+    /// regions.  Plans compose — installing a second plan adds its faults.
+    pub fn install_faults(&mut self, plan: &FaultPlan) {
+        self.fault.timeout_s = plan.timeout_s;
+        for (i, f) in plan.dma.iter().enumerate() {
+            self.fault.dma.push(crate::fault::ArmedDmaFault {
+                path: f.path,
+                nth: f.nth,
+                kind: f.kind,
+                rng: splitmix64(plan.seed ^ (0xD0A0 + i as u64)),
+            });
+        }
+        for (i, f) in plan.mem.iter().enumerate() {
+            let rng = splitmix64(plan.seed ^ (0xF1B0 + i as u64));
+            let region = match f.target {
+                MemTarget::Gsm => &mut self.cluster.gsm,
+                MemTarget::Sm(c) => &mut self.cluster.cores[c].sm,
+                MemTarget::Am(c) => &mut self.cluster.cores[c].am,
+            };
+            region.schedule_flip(f.nth_read, rng);
+        }
+        if !plan.cores.is_empty() && self.fault.core_death.is_empty() {
+            self.fault.core_death = vec![None; self.cfg.cores_per_cluster];
+            self.fault.failed = vec![false; self.cfg.cores_per_cluster];
+        }
+        for f in &plan.cores {
+            self.fault.core_death[f.core] = Some(f.at_seconds);
+        }
+    }
+
+    /// Retire a failed physical core: remaining logical ids stay dense
+    /// (`0..alive_cores()`), so a caller can simply re-run with fewer
+    /// cores.  The dead core's clocks and counters are frozen as-is.
+    pub fn retire_core(&mut self, physical: usize) {
+        self.core_map.retain(|&p| p != physical);
+    }
+
+    /// Check whether a logical core is (still) allowed to issue work: a
+    /// core whose clock has reached its scheduled death time fails
+    /// permanently.
+    pub fn check_core_alive(&mut self, id: usize) -> Result<(), SimError> {
+        if self.fault.core_death.is_empty() {
+            return Ok(());
+        }
+        let phys = self.core_map[id];
+        let core = &self.cluster.cores[phys];
+        let now = core.t_compute.max(core.t_dma_free);
+        if self.fault.failed[phys] {
+            let at = self.fault.core_death[phys].unwrap_or(now);
+            return Err(SimError::CoreFailed { core: phys, at });
+        }
+        if let Some(t) = self.fault.core_death[phys] {
+            if now >= t {
+                self.fault.failed[phys] = true;
+                return Err(SimError::CoreFailed { core: phys, at: t });
+            }
+        }
+        Ok(())
+    }
+
+    /// Advance a core's compute clock by raw seconds without touching any
+    /// cycle counter (recovery backoff; not architectural work).
+    pub fn stall(&mut self, id: usize, seconds: f64) {
+        self.cluster.cores[self.core_map[id]].t_compute += seconds;
     }
 
     /// Advance a core's compute clock by whole cycles and account them.
     pub fn compute(&mut self, id: usize, cycles: u64) {
-        let core = &mut self.cluster.cores[id];
+        let core = &mut self.cluster.cores[self.core_map[id]];
         core.t_compute += cycles as f64 * self.cfg.cycle_s();
         core.stats.compute_cycles += cycles;
     }
 
     /// Block a core until a DMA ticket completes.
     pub fn wait(&mut self, id: usize, ticket: DmaTicket) {
-        let core = &mut self.cluster.cores[id];
+        let core = &mut self.cluster.cores[self.core_map[id]];
         if ticket.done_at > core.t_compute {
             core.t_compute = ticket.done_at;
         }
@@ -140,22 +229,53 @@ impl Machine {
     pub fn barrier(&mut self, ids: &[usize]) -> f64 {
         let t = ids
             .iter()
-            .map(|&i| self.cluster.cores[i].t_compute)
+            .map(|&i| self.cluster.cores[self.core_map[i]].t_compute)
             .fold(0.0, f64::max);
         for &i in ids {
-            self.cluster.cores[i].t_compute = t;
+            self.cluster.cores[self.core_map[i]].t_compute = t;
         }
         t
     }
 
     /// Issue a DMA on a core's engine: functional strided copy (unless in
-    /// timing mode) plus completion-time accounting.
+    /// timing mode) plus completion-time accounting.  Armed faults strike
+    /// here: a `Timeout` charges the watchdog and errors out, a `Corrupt`
+    /// completes the transfer but flips one f32 of the destination.
     pub fn dma(&mut self, id: usize, path: DmaPath, desc: &Dma2d) -> Result<DmaTicket, SimError> {
+        self.check_core_alive(id)?;
+        let armed = if self.fault.dma_armed() {
+            self.fault.take_dma_fault(path)
+        } else {
+            None
+        };
+        if let Some(f) = armed {
+            if f.kind == DmaFaultKind::Timeout {
+                self.fault.injected_timeouts += 1;
+                let phys = self.core_map[id];
+                let timeout = self.fault.timeout_s;
+                let core = &mut self.cluster.cores[phys];
+                let start = core.t_dma_free.max(core.t_compute);
+                let at = start + timeout;
+                // The engine hangs until the watchdog fires and the core
+                // blocks on it; no data moves.
+                core.t_dma_free = at;
+                core.t_compute = at;
+                return Err(SimError::DmaTimeout {
+                    core: phys,
+                    path,
+                    at,
+                });
+            }
+        }
         if self.mode.is_functional() {
             self.dma_copy(id, path, desc)?;
+            if let Some(f) = armed {
+                self.corrupt_dma_dst(id, path, desc, f.rng)?;
+                self.fault.injected_corruptions += 1;
+            }
         }
         let dur = transfer_time(&self.cfg, path, desc.bytes(), self.active_streams);
-        let core = &mut self.cluster.cores[id];
+        let core = &mut self.cluster.cores[self.core_map[id]];
         let start = core.t_dma_free.max(core.t_compute);
         let done = start + dur;
         core.t_dma_free = done;
@@ -179,9 +299,10 @@ impl Machine {
     }
 
     fn dma_copy(&mut self, id: usize, path: DmaPath, desc: &Dma2d) -> Result<(), SimError> {
+        let phys = self.core_map[id];
         let Machine { ddr, cluster, .. } = self;
         let Cluster { gsm, cores } = cluster;
-        let core = &mut cores[id];
+        let core = &mut cores[phys];
         let (src, dst): (&mut MemRegion, &mut MemRegion) = match path {
             DmaPath::DdrToGsm => (ddr, gsm),
             DmaPath::GsmToDdr => (gsm, ddr),
@@ -204,6 +325,35 @@ impl Machine {
         Ok(())
     }
 
+    /// Flip the exponent MSB of one f32 inside the destination footprint
+    /// of a just-completed transfer (the `Corrupt` DMA fault).
+    fn corrupt_dma_dst(
+        &mut self,
+        id: usize,
+        path: DmaPath,
+        desc: &Dma2d,
+        rng: u64,
+    ) -> Result<(), SimError> {
+        let phys = self.core_map[id];
+        let Machine { ddr, cluster, .. } = self;
+        let Cluster { gsm, cores } = cluster;
+        let core = &mut cores[phys];
+        let dst: &mut MemRegion = match path {
+            DmaPath::DdrToGsm => gsm,
+            DmaPath::GsmToDdr => ddr,
+            DmaPath::DdrToSm => &mut core.sm,
+            DmaPath::DdrToAm => &mut core.am,
+            DmaPath::SmToDdr => ddr,
+            DmaPath::AmToDdr => ddr,
+            DmaPath::GsmToSm => &mut core.sm,
+            DmaPath::GsmToAm => &mut core.am,
+            DmaPath::AmToGsm => gsm,
+        };
+        let row = rng % desc.rows.max(1);
+        let word = (rng >> 24) % (desc.row_bytes / 4).max(1);
+        dst.flip_f32_msb(desc.dst_off + row * desc.dst_stride + word * 4)
+    }
+
     /// Functional `GSM[gsm_off + i] += AM_core[am_off + i]` over `count`
     /// f32 elements — the K-dimension parallelisation's reduction step.
     /// (No timing: the caller accounts reduction time explicitly.)
@@ -217,8 +367,9 @@ impl Machine {
         if !self.mode.is_functional() {
             return Ok(());
         }
+        let phys = self.core_map[id];
         let Cluster { gsm, cores } = &mut self.cluster;
-        let core = &mut cores[id];
+        let core = &mut cores[phys];
         let mut buf = vec![0.0f32; count as usize];
         core.am.read_f32_slice(am_off, &mut buf)?;
         let mut acc = vec![0.0f32; count as usize];
@@ -229,12 +380,37 @@ impl Machine {
         gsm.write_f32_slice(gsm_off, &acc)
     }
 
-    /// Summarise a finished run over the given cores.
+    /// Transfers observed per DMA path since a fault plan was installed
+    /// (all zero without one — the counters only tick while faults are
+    /// armed).  Indexed like [`crate::DmaPath`]'s declaration order; for
+    /// test/diagnostic use.
+    pub fn dma_transfer_counts(&self) -> [u64; 9] {
+        self.fault.dma_counts
+    }
+
+    /// Fault counters accumulated so far (injection side only; recovery
+    /// counters are filled by the layer driving the retries).
+    pub fn fault_stats(&self) -> FaultStats {
+        let mut bit_flips = self.cluster.gsm.flips_applied();
+        for c in &self.cluster.cores {
+            bit_flips += c.sm.flips_applied() + c.am.flips_applied();
+        }
+        FaultStats {
+            dma_corruptions: self.fault.injected_corruptions,
+            dma_timeouts: self.fault.injected_timeouts,
+            bit_flips,
+            cores_lost: self.fault.failed.iter().filter(|&&f| f).count() as u64,
+            retries: 0,
+            recomputed_tiles: 0,
+        }
+    }
+
+    /// Summarise a finished run over the given (logical) cores.
     pub fn report(&self, useful_flops: u64, cores: &[usize]) -> RunReport {
         let mut totals = CoreStats::default();
         let mut t = 0.0f64;
         for &i in cores {
-            let c = &self.cluster.cores[i];
+            let c = &self.cluster.cores[self.core_map[i]];
             totals.merge(&c.stats);
             t = t.max(c.t_compute).max(c.t_dma_free);
         }
@@ -243,6 +419,7 @@ impl Machine {
             useful_flops,
             totals,
             cores_used: cores.len(),
+            faults: self.fault_stats(),
         }
     }
 }

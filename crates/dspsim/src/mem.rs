@@ -14,6 +14,16 @@ pub struct MemRegion {
     /// Bump-allocation watermark.
     watermark: u64,
     growable: bool,
+    /// Reads observed since a flip was scheduled (untouched — and never
+    /// counted — while no flips are pending, so fault-free runs pay
+    /// nothing).
+    reads: u64,
+    /// Scheduled bit flips: `(nth_read, rng_word)`, ascending by read
+    /// count.  The flip damages the stored bytes *in place* (a fault at
+    /// rest), so it persists until the location is overwritten.
+    pending_flips: Vec<(u64, u64)>,
+    /// Flips that have fired.
+    flips_applied: u64,
 }
 
 impl MemRegion {
@@ -25,6 +35,9 @@ impl MemRegion {
             capacity: capacity as u64,
             watermark: 0,
             growable: false,
+            reads: 0,
+            pending_flips: Vec::new(),
+            flips_applied: 0,
         }
     }
 
@@ -36,6 +49,9 @@ impl MemRegion {
             capacity,
             watermark: 0,
             growable: true,
+            reads: 0,
+            pending_flips: Vec::new(),
+            flips_applied: 0,
         }
     }
 
@@ -97,9 +113,60 @@ impl MemRegion {
         self.watermark = 0;
     }
 
+    /// Arm a bit flip on the `nth_read`-th read (1-based, counted from
+    /// now); `rng` deterministically picks the flipped word within the
+    /// accessed range.
+    pub fn schedule_flip(&mut self, nth_read: u64, rng: u64) {
+        let base = self.reads;
+        self.pending_flips.push((base + nth_read, rng));
+        self.pending_flips.sort_unstable();
+    }
+
+    /// Bit flips that have fired in this region.
+    pub fn flips_applied(&self) -> u64 {
+        self.flips_applied
+    }
+
+    /// Flip the exponent MSB (bit 30) of the f32 at `offset` in place —
+    /// the DMA corruption primitive.
+    pub(crate) fn flip_f32_msb(&mut self, offset: u64) -> Result<(), SimError> {
+        self.ensure(offset, 4)?;
+        self.data[offset as usize + 3] ^= 0x40;
+        Ok(())
+    }
+
+    /// Fault hook, called on each read access *after* bounds are ensured.
+    /// Free when nothing is armed: the read counter only ticks while a
+    /// flip is pending, so fault-free runs take one branch and return.
+    #[inline]
+    fn fault_hook(&mut self, offset: u64, len: u64) {
+        if self.pending_flips.is_empty() || len == 0 {
+            return;
+        }
+        self.reads += 1;
+        while let Some(&(nth, rng)) = self.pending_flips.first() {
+            if nth > self.reads {
+                break;
+            }
+            self.pending_flips.remove(0);
+            // Flip bit 30 (exponent MSB) of one f32-aligned word in the
+            // accessed range: non-zero values change by orders of
+            // magnitude, zeros become 2.0 — both detectable by checksums.
+            if len >= 4 {
+                let word = rng % (len / 4);
+                let msb = (offset + word * 4 + 3) as usize;
+                self.data[msb] ^= 0x40;
+            } else {
+                self.data[offset as usize] ^= 0x40;
+            }
+            self.flips_applied += 1;
+        }
+    }
+
     /// Read one f32 (little-endian).
     pub fn read_f32(&mut self, offset: u64) -> Result<f32, SimError> {
         self.ensure(offset, 4)?;
+        self.fault_hook(offset, 4);
         let o = offset as usize;
         let bytes = [
             self.data[o],
@@ -120,6 +187,7 @@ impl MemRegion {
     /// Read `count` consecutive f32 into `out`.
     pub fn read_f32_slice(&mut self, offset: u64, out: &mut [f32]) -> Result<(), SimError> {
         self.ensure(offset, 4 * out.len() as u64)?;
+        self.fault_hook(offset, 4 * out.len() as u64);
         let base = offset as usize;
         for (i, v) in out.iter_mut().enumerate() {
             let o = base + 4 * i;
@@ -146,6 +214,7 @@ impl MemRegion {
     /// Read one u64 (for the scalar register file's packed loads).
     pub fn read_u64(&mut self, offset: u64) -> Result<u64, SimError> {
         self.ensure(offset, 8)?;
+        self.fault_hook(offset, 8);
         let o = offset as usize;
         let mut b = [0u8; 8];
         b.copy_from_slice(&self.data[o..o + 8]);
@@ -155,6 +224,7 @@ impl MemRegion {
     /// Read one u32 zero-extended to u64.
     pub fn read_u32(&mut self, offset: u64) -> Result<u64, SimError> {
         self.ensure(offset, 4)?;
+        self.fault_hook(offset, 4);
         let o = offset as usize;
         let mut b = [0u8; 4];
         b.copy_from_slice(&self.data[o..o + 4]);
@@ -179,6 +249,7 @@ impl MemRegion {
         len: u64,
     ) -> Result<(), SimError> {
         src.ensure(src_off, len)?;
+        src.fault_hook(src_off, len);
         self.ensure(dst_off, len)?;
         let (s, e) = (src_off as usize, (src_off + len) as usize);
         self.data[dst_off as usize..(dst_off + len) as usize].copy_from_slice(&src.data[s..e]);

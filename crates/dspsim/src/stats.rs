@@ -34,6 +34,36 @@ impl CoreStats {
     }
 }
 
+/// Fault-injection and recovery counters for one run.
+///
+/// The injection counters (`dma_corruptions`, `dma_timeouts`, `bit_flips`,
+/// `cores_lost`) are filled by the machine from its fault state; the
+/// recovery counters (`retries`, `recomputed_tiles`) are filled by the
+/// resilient execution layer wrapping the run.  All zero when no
+/// [`crate::FaultPlan`] is installed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// DMA payload corruptions injected.
+    pub dma_corruptions: u64,
+    /// DMA watchdog timeouts injected.
+    pub dma_timeouts: u64,
+    /// Scratchpad bit flips injected.
+    pub bit_flips: u64,
+    /// Cores permanently lost during the run.
+    pub cores_lost: u64,
+    /// Recovery attempts performed (retries and degraded re-runs).
+    pub retries: u64,
+    /// Tiles recomputed during recovery.
+    pub recomputed_tiles: u64,
+}
+
+impl FaultStats {
+    /// Total faults injected (not counting recovery work).
+    pub fn injected(&self) -> u64 {
+        self.dma_corruptions + self.dma_timeouts + self.bit_flips + self.cores_lost
+    }
+}
+
 /// Result of one simulated GEMM (or kernel) run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RunReport {
@@ -45,6 +75,8 @@ pub struct RunReport {
     pub totals: CoreStats,
     /// Number of cores that participated.
     pub cores_used: usize,
+    /// Fault-injection and recovery counters (all zero in fault-free runs).
+    pub faults: FaultStats,
 }
 
 impl RunReport {
@@ -94,6 +126,7 @@ mod tests {
             useful_flops: 345_600_000,
             totals: CoreStats::default(),
             cores_used: 1,
+            faults: FaultStats::default(),
         };
         assert!((r.gflops() - 345.6).abs() < 1e-9);
         assert!((r.efficiency(345.6e9) - 1.0).abs() < 1e-12);
@@ -106,6 +139,7 @@ mod tests {
             useful_flops: 1,
             totals: CoreStats::default(),
             cores_used: 1,
+            faults: FaultStats::default(),
         };
         assert_eq!(r.gflops(), 0.0);
     }

@@ -17,7 +17,22 @@ pub struct ExecTrace {
 
 impl ExecTrace {
     fn unit_bit(unit: Unit) -> u16 {
-        1 << Unit::ALL.iter().position(|&u| u == unit).expect("unit")
+        // Infallible mirror of the `Unit::ALL` row order.
+        let bit = match unit {
+            Unit::ScalarLs1 => 0,
+            Unit::ScalarLs2 => 1,
+            Unit::ScalarFmac1 => 2,
+            Unit::ScalarFmac2 => 3,
+            Unit::Sieu => 4,
+            Unit::Control => 5,
+            Unit::VectorLs1 => 6,
+            Unit::VectorLs2 => 7,
+            Unit::VectorFmac1 => 8,
+            Unit::VectorFmac2 => 9,
+            Unit::VectorFmac3 => 10,
+            Unit::VectorMisc => 11,
+        };
+        1 << bit
     }
 
     /// Number of traced cycles.
@@ -162,6 +177,13 @@ mod tests {
         assert!(!s.contains("Scalar FMAC1"), "idle units omitted:\n{s}");
         assert!(s.contains('#'));
         assert!(s.contains('.'));
+    }
+
+    #[test]
+    fn unit_bits_mirror_canonical_row_order() {
+        for (i, &u) in Unit::ALL.iter().enumerate() {
+            assert_eq!(ExecTrace::unit_bit(u), 1 << i, "bit order drift at {u:?}");
+        }
     }
 
     #[test]

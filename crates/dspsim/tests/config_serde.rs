@@ -1,7 +1,7 @@
 //! Configuration and report types are value types with serde support
 //! (they are embedded in experiment records and bench metadata).
 
-use dspsim::{CoreStats, Dma2d, DmaPath, ExecMode, HwConfig, RunReport};
+use dspsim::{CoreStats, Dma2d, DmaPath, ExecMode, FaultPlan, FaultStats, HwConfig, RunReport};
 
 /// Compile-time assertion that a type round-trips through serde.
 fn assert_serde<T: serde::Serialize + for<'de> serde::Deserialize<'de>>() {}
@@ -14,6 +14,8 @@ fn public_value_types_implement_serde() {
     assert_serde::<Dma2d>();
     assert_serde::<DmaPath>();
     assert_serde::<ExecMode>();
+    assert_serde::<FaultPlan>();
+    assert_serde::<FaultStats>();
 }
 
 #[test]
@@ -38,6 +40,7 @@ fn core_stats_and_report_are_copyable_value_types() {
         useful_flops: 2,
         totals: a,
         cores_used: 8,
+        faults: FaultStats::default(),
     };
     let r2 = r;
     assert_eq!(r, r2);

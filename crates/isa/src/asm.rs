@@ -113,10 +113,7 @@ impl Parser {
         }
         if line == ".sect" {
             // Boundary between adjacent straight sections.
-            self.stack
-                .last_mut()
-                .expect("stack never empty")
-                .flush();
+            self.stack.last_mut().expect("stack never empty").flush();
             return Ok(());
         }
         if line == ".endloop" {

@@ -3,9 +3,8 @@
 
 use crate::{GenError, KernelSpec, MicroKernel};
 use dspsim::HwConfig;
-use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 type Key = (KernelSpec, Option<(usize, usize)>);
 
@@ -13,6 +12,15 @@ type Key = (KernelSpec, Option<(usize, usize)>);
 pub struct KernelCache {
     cfg: HwConfig,
     map: Mutex<HashMap<Key, Arc<MicroKernel>>>,
+}
+
+/// Lock the map, recovering from poisoning: the cache holds only
+/// immutable, deterministically generated kernels, so state observed
+/// after a panicking thread is still valid.
+fn lock(
+    m: &Mutex<HashMap<Key, Arc<MicroKernel>>>,
+) -> MutexGuard<'_, HashMap<Key, Arc<MicroKernel>>> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 impl KernelCache {
@@ -50,7 +58,7 @@ impl KernelCache {
         spec: KernelSpec,
         forced: Option<(usize, usize)>,
     ) -> Result<Arc<MicroKernel>, GenError> {
-        if let Some(k) = self.map.lock().get(&(spec, forced)) {
+        if let Some(k) = lock(&self.map).get(&(spec, forced)) {
             return Ok(Arc::clone(k));
         }
         // Generate outside the lock: generation is pure and deterministic,
@@ -59,8 +67,7 @@ impl KernelCache {
             None => MicroKernel::generate(spec, &self.cfg)?,
             Some((m_u, k_u)) => MicroKernel::generate_forced(spec, m_u, k_u, &self.cfg)?,
         });
-        self.map
-            .lock()
+        lock(&self.map)
             .entry((spec, forced))
             .or_insert_with(|| Arc::clone(&kernel));
         Ok(kernel)
@@ -68,12 +75,12 @@ impl KernelCache {
 
     /// Number of cached kernels.
     pub fn len(&self) -> usize {
-        self.map.lock().len()
+        lock(&self.map).len()
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.map.lock().is_empty()
+        lock(&self.map).is_empty()
     }
 }
 

@@ -50,12 +50,17 @@ fn run(program: &ftimm_isa::Program, seed: u32, spec: KernelSpec) -> (Vec<f32>, 
 #[test]
 fn kernels_round_trip_through_assembly_text() {
     let cfg = HwConfig::default();
-    for (m_s, k_a, n_a) in [(6, 64, 96), (6, 40, 64), (6, 33, 32), (5, 17, 80), (13, 20, 48)] {
+    for (m_s, k_a, n_a) in [
+        (6, 64, 96),
+        (6, 40, 64),
+        (6, 33, 32),
+        (5, 17, 80),
+        (13, 20, 48),
+    ] {
         let spec = KernelSpec::new(m_s, k_a, n_a).unwrap();
         let kernel = MicroKernel::generate(spec, &cfg).unwrap();
         let text = asm::render(&kernel.program);
-        let reparsed = asm::parse(&text)
-            .unwrap_or_else(|e| panic!("{spec}: parse failed: {e}"));
+        let reparsed = asm::parse(&text).unwrap_or_else(|e| panic!("{spec}: parse failed: {e}"));
         assert_eq!(kernel.program, reparsed, "{spec}: structural mismatch");
 
         // Execute both; results and cycle counts are identical.
@@ -78,5 +83,8 @@ fn assembly_listings_are_human_scale() {
     let ls = asm::render(&small.program).lines().count();
     let ll = asm::render(&large.program).lines().count();
     assert!(ll < 4 * ls, "listing grows with k_a: {ls} vs {ll}");
-    assert!(large.cycles > 50 * small.cycles / 2, "cycles do scale with k_a");
+    assert!(
+        large.cycles > 50 * small.cycles / 2,
+        "cycles do scale with k_a"
+    );
 }

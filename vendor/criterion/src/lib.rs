@@ -1,0 +1,209 @@
+//! Offline stub of `criterion` 0.5.
+//!
+//! The bench harness API (groups, `iter`, `iter_batched`, throughput) is
+//! preserved so the workspace's `benches/` compile and run unchanged, but
+//! measurement is a single timed pass per benchmark printed to stdout —
+//! no sampling, statistics, or HTML reports. Good enough to smoke-run the
+//! paper's figures offline; swap the real criterion back in for numbers
+//! worth quoting.
+
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+/// Opaque hint preventing the optimiser from deleting a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortises setup (ignored by the stub).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Throughput annotation for a benchmark group (printed, not analysed).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Per-benchmark timing driver.
+pub struct Bencher {
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine`, running it a fixed small number of times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        let total = start.elapsed();
+        println!(
+            "    {:>12.3?}/iter over {} iters",
+            total / self.iters as u32,
+            self.iters
+        );
+    }
+
+    /// Time `routine` on inputs produced by `setup` (setup untimed).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let inputs: Vec<I> = (0..self.iters).map(|_| setup()).collect();
+        let start = Instant::now();
+        for input in inputs {
+            black_box(routine(input));
+        }
+        let total = start.elapsed();
+        println!(
+            "    {:>12.3?}/iter over {} iters (batched)",
+            total / self.iters as u32,
+            self.iters
+        );
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare the work per iteration (printed only).
+    pub fn throughput(&mut self, t: Throughput) {
+        println!("  [{}] throughput: {t:?}", self.name);
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<N: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: N,
+        mut f: F,
+    ) -> &mut Self {
+        println!("  {}/{}", self.name, id.into());
+        let mut b = Bencher { iters: 3 };
+        f(&mut b);
+        self
+    }
+
+    /// End the group (no-op).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Set the sample size (recorded but unused by the stub).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Configure measurement time (ignored by the stub).
+    pub fn measurement_time(self, _d: std::time::Duration) -> Self {
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group<N: Into<String>>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup {
+            name,
+            _parent: self,
+        }
+    }
+
+    /// Run a stand-alone benchmark.
+    pub fn bench_function<N: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: N,
+        mut f: F,
+    ) -> &mut Self {
+        println!("bench {}", id.into());
+        let mut b = Bencher { iters: 3 };
+        f(&mut b);
+        self
+    }
+}
+
+/// Declare a bench group: plain `criterion_group!(name, fns...)` or the
+/// long form with `name = ...; config = ...; targets = ...`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_the_routine() {
+        let mut count = 0u64;
+        let mut b = Bencher { iters: 3 };
+        b.iter(|| count += 1);
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn batched_runs_setup_per_iteration() {
+        let mut b = Bencher { iters: 3 };
+        let mut sum = 0u64;
+        b.iter_batched(|| 2u64, |x| sum += x, BatchSize::SmallInput);
+        assert_eq!(sum, 6);
+    }
+
+    #[test]
+    fn groups_chain() {
+        let mut c = Criterion::default().sample_size(5);
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(10));
+        g.bench_function("a", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+    }
+}

@@ -1,0 +1,197 @@
+//! Offline mini-`proptest`.
+//!
+//! The build container cannot reach crates.io, so this crate reimplements
+//! the slice of proptest's API the workspace's property tests use:
+//!
+//! * `proptest! { #![proptest_config(...)] #[test] fn f(x in strat, ...) {...} }`
+//! * range strategies (`0u16..64`, `-1e6f32..1e6`), tuples, `Just`,
+//!   `prop_oneof!`, `.prop_map(...)`, `.boxed()` / `BoxedStrategy`,
+//!   `prop::collection::vec(elem, len_range)`
+//! * `prop_assert!`, `prop_assert_eq!`, `prop_assume!`, `ProptestConfig`
+//!
+//! Differences from the real crate: generation is a fixed deterministic
+//! stream per test (seeded from the test name), there is **no shrinking**,
+//! and failures panic with the offending values in the message instead of
+//! persisting a regression file. For a simulator test-suite that is fully
+//! deterministic anyway, that trade keeps behaviour reproducible while
+//! requiring no dependencies.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// `use proptest::prelude::*;` — mirrors the real prelude closely enough
+/// for this workspace: the `Strategy` trait, common strategy types, the
+/// config type and the `prop` alias for the crate root.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+/// Assert a condition inside a `proptest!` body; panics (fails the test
+/// case) with the stringified condition or a custom message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            panic!("prop_assert failed: {}", stringify!($cond));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            panic!("prop_assert failed: {}: {}", stringify!($cond), format!($($fmt)+));
+        }
+    };
+}
+
+/// Assert two values are equal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    panic!("prop_assert_eq failed: {:?} != {:?}", l, r);
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    panic!(
+                        "prop_assert_eq failed: {:?} != {:?}: {}",
+                        l, r, format!($($fmt)+)
+                    );
+                }
+            }
+        }
+    };
+}
+
+/// Reject the current case (it is regenerated, not counted as run).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::Reject);
+        }
+    };
+}
+
+/// Uniform choice between strategies (all coerced to `BoxedStrategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// The `proptest!` block macro: expands each contained function into a
+/// `#[test]` that runs `config.cases` generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($config:expr) ) => {};
+    (
+        ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+            let mut accepted: u32 = 0;
+            let mut attempts: u32 = 0;
+            let max_attempts = config.cases.saturating_mul(20).max(20);
+            while accepted < config.cases && attempts < max_attempts {
+                attempts += 1;
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                // The closure gives `prop_assume!`'s early `return` a scope.
+                #[allow(clippy::redundant_closure_call)]
+                let outcome: ::core::result::Result<(), $crate::test_runner::Reject> =
+                    (|| { $body Ok(()) })();
+                if outcome.is_ok() {
+                    accepted += 1;
+                }
+            }
+            assert!(
+                accepted >= config.cases.min(1),
+                "proptest stub: every generated case was rejected by prop_assume!"
+            );
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_even() -> impl Strategy<Value = u64> {
+        (0u64..1000).prop_map(|x| x * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_tuples(
+            a in 1usize..10,
+            (x, y) in (0u16..64, -4i32..4),
+            v in prop::collection::vec(-1.0f32..1.0, 1..8),
+        ) {
+            prop_assert!((1..10).contains(&a));
+            prop_assert!(x < 64);
+            prop_assert!((-4..4).contains(&y));
+            prop_assert!(!v.is_empty() && v.len() < 8);
+            prop_assert!(v.iter().all(|t| (-1.0..1.0).contains(t)));
+        }
+
+        #[test]
+        fn map_oneof_just_and_assume(
+            e in arb_even(),
+            pick in prop_oneof![Just(1u8), Just(2u8), (5u8..7).prop_map(|x| x)],
+        ) {
+            prop_assume!(e > 0);
+            prop_assert_eq!(e % 2, 0);
+            prop_assert!(pick == 1 || pick == 2 || pick == 5 || pick == 6, "pick={}", pick);
+        }
+
+        #[test]
+        fn boxed_strategies_compose(
+            s in prop::collection::vec(arb_even().boxed(), 2..4),
+        ) {
+            prop_assert!(s.len() == 2 || s.len() == 3);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mut r1 = crate::test_runner::TestRng::deterministic("seed");
+        let mut r2 = crate::test_runner::TestRng::deterministic("seed");
+        let s = 0u64..1_000_000;
+        let a: Vec<u64> = (0..16).map(|_| s.clone().generate(&mut r1)).collect();
+        let b: Vec<u64> = (0..16).map(|_| s.clone().generate(&mut r2)).collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,149 @@
+//! Offline stub of `rand` 0.8.
+//!
+//! Implements the small API slice this workspace uses — `SmallRng`,
+//! `SeedableRng::seed_from_u64` and `Rng::gen_range` over primitive
+//! ranges — on top of a SplitMix64 generator. Fully deterministic per
+//! seed, which is all the workloads' matrix generators require.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Low-level generator interface.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable construction.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling a value of type `T` from a range-like object.
+pub trait SampleRange<T> {
+    /// Draw one sample using `rng`.
+    fn sample(self, rng: &mut dyn FnMut() -> u64) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {
+        $(
+            impl SampleRange<$t> for Range<$t> {
+                fn sample(self, rng: &mut dyn FnMut() -> u64) -> $t {
+                    assert!(self.start < self.end, "gen_range: empty range");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let r = ((rng() as u128) % span) as i128;
+                    (self.start as i128 + r) as $t
+                }
+            }
+        )*
+    };
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range {
+    ($($t:ty),*) => {
+        $(
+            impl SampleRange<$t> for Range<$t> {
+                fn sample(self, rng: &mut dyn FnMut() -> u64) -> $t {
+                    assert!(self.start < self.end, "gen_range: empty range");
+                    // 53 uniform mantissa bits in [0, 1).
+                    let frac = (rng() >> 11) as f64 / (1u64 << 53) as f64;
+                    let v = self.start as f64 + frac * (self.end as f64 - self.start as f64);
+                    let v = v as $t;
+                    if v >= self.end { self.start } else { v }
+                }
+            }
+        )*
+    };
+}
+
+impl_float_range!(f32, f64);
+
+/// High-level sampling methods, blanket-implemented for every `RngCore`.
+pub trait Rng: RngCore {
+    /// A uniform sample from `range` (half-open).
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        let mut draw = || self.next_u64();
+        range.sample(&mut draw)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic SplitMix64 generator (stub for rand's `SmallRng`).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            SmallRng { state: seed }
+        }
+    }
+
+    /// The stub's `StdRng` is the same generator.
+    pub type StdRng = SmallRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        let va: Vec<u64> = (0..8).map(|_| a.gen_range(0u64..1000)).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.gen_range(0u64..1000)).collect();
+        assert_eq!(va, vb);
+        let mut c = SmallRng::seed_from_u64(8);
+        let vc: Vec<u64> = (0..8).map(|_| c.gen_range(0u64..1000)).collect();
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = r.gen_range(-2.0f32..3.0);
+            assert!((-2.0..3.0).contains(&x));
+            let y = r.gen_range(5usize..7);
+            assert!((5..7).contains(&y));
+            let z = r.gen_range(-10i32..-3);
+            assert!((-10..-3).contains(&z));
+        }
+    }
+
+    #[test]
+    fn floats_cover_the_range() {
+        let mut r = SmallRng::seed_from_u64(2);
+        let v: Vec<f32> = (0..2000).map(|_| r.gen_range(0.0f32..1.0)).collect();
+        assert!(v.iter().any(|&x| x < 0.1));
+        assert!(v.iter().any(|&x| x > 0.9));
+    }
+}

@@ -1,0 +1,75 @@
+//! Offline stub of `serde`.
+//!
+//! The build container has no network and no registry cache, so the real
+//! serde cannot be fetched. The workspace only uses serde as a *marker*
+//! ("this is a plain value type"): nothing serializes to bytes. These
+//! marker traits plus the stub derives in `serde_derive` satisfy every
+//! `#[derive(Serialize, Deserialize)]` and `T: Serialize + Deserialize`
+//! bound in the tree while keeping the real serde API shape, so swapping
+//! the real crates back in (by pointing the workspace dependency at
+//! crates.io) requires no source changes.
+
+#![forbid(unsafe_code)]
+
+// The stub derives emit `impl ::serde::Serialize for ...`; make that path
+// resolve inside this crate too (for the tests below).
+extern crate self as serde;
+
+/// Marker for serializable value types (stub: no methods).
+pub trait Serialize {}
+
+/// Marker for deserializable value types (stub: no methods).
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+macro_rules! impl_markers {
+    ($($t:ty),* $(,)?) => {
+        $(
+            impl Serialize for $t {}
+            impl<'de> Deserialize<'de> for $t {}
+        )*
+    };
+}
+
+impl_markers!(
+    bool, u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, char, String
+);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+impl<T: Serialize, const N: usize> Serialize for [T; N] {}
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {}
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Serialize, Deserialize)]
+    struct Plain {
+        #[allow(dead_code)]
+        x: u32,
+    }
+
+    #[derive(Serialize, Deserialize)]
+    enum Choice {
+        #[allow(dead_code)]
+        A,
+        #[allow(dead_code)]
+        B(u8),
+    }
+
+    fn assert_serde<T: Serialize + for<'de> Deserialize<'de>>() {}
+
+    #[test]
+    fn derives_produce_marker_impls() {
+        assert_serde::<Plain>();
+        assert_serde::<Choice>();
+        assert_serde::<Vec<f32>>();
+        assert_serde::<[u64; 4]>();
+    }
+}

@@ -1,0 +1,45 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The workspace builds in a sealed container with no access to crates.io,
+//! so the real serde cannot be vendored. Nothing in the workspace performs
+//! actual serialization — `serde` is used purely as a value-type marker
+//! (see `crates/dspsim/tests/config_serde.rs`) — so the derives here emit
+//! empty impls of the stub's marker traits.
+//!
+//! Limitations (sufficient for this workspace): derived types must not be
+//! generic. A generic type will produce a compile error at the impl site,
+//! which is the desired loud failure mode.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Name of the `struct`/`enum` a derive is attached to.
+fn type_name(input: TokenStream) -> String {
+    let mut iter = input.into_iter();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" {
+                if let Some(TokenTree::Ident(name)) = iter.next() {
+                    return name.to_string();
+                }
+            }
+        }
+    }
+    panic!("serde stub derive: could not find type name in input")
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("serde stub: generated impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("serde stub: generated impl must parse")
+}
