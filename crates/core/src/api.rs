@@ -157,6 +157,10 @@ impl FtImm {
 
     /// Execute a resolved plan under the resilience layer: ABFT-checked,
     /// retried on injected faults, degraded onto surviving cores.
+    ///
+    /// For job-level control on top of this — per-job deadlines, per-core
+    /// circuit breakers, poison quarantine — submit work to a
+    /// [`crate::engine::JobQueue`] instead.
     pub fn run_plan_resilient(
         &self,
         m: &mut Machine,

@@ -6,8 +6,8 @@
 //! algebraically one tall-and-skinny GEMM; this module provides the
 //! batch-shaped API, plans it once, and reports per-element statistics.
 
-use crate::{FtImm, FtimmError, GemmProblem, GemmShape, Strategy};
-use dspsim::{Machine, RunReport};
+use crate::{resilience::ResilienceConfig, FtImm, FtimmError, GemmProblem, GemmShape, Strategy};
+use dspsim::{FaultStats, Machine, RunReport};
 
 /// A planned batch of `count` GEMMs of `rows × cols × inner` against a
 /// shared `inner × cols` operand.
@@ -28,6 +28,10 @@ pub struct GemmBatch {
 pub struct BatchReport {
     /// The underlying flat-run report.
     pub run: RunReport,
+    /// Fault and recovery counters for the run (a copy of `run.faults`,
+    /// surfaced at batch level so callers checking batch health need not
+    /// reach into the flat report).
+    pub faults: FaultStats,
     /// Simulated seconds per element matrix.
     pub seconds_per_element: f64,
 }
@@ -57,6 +61,44 @@ impl GemmBatch {
         GemmShape::new(self.count * self.rows, self.cols, self.inner)
     }
 
+    /// Allocate the batch's flat problem and stage the host buffers.
+    fn stage(
+        &self,
+        machine: &mut Machine,
+        elements: &[f32],
+        operator: &[f32],
+        out: &[f32],
+    ) -> Result<GemmProblem, FtimmError> {
+        let shape = self.flat_shape();
+        let p = GemmProblem::alloc(machine, shape.m, shape.n, shape.k)?;
+        if machine.mode.is_functional() {
+            p.a.upload(machine, elements)?;
+            p.b.upload(machine, operator)?;
+            p.c.upload(machine, out)?;
+        }
+        Ok(p)
+    }
+
+    /// Wrap a finished flat run in batch statistics, downloading the
+    /// accumulator back into `out`.
+    fn finish(
+        &self,
+        machine: &mut Machine,
+        p: &GemmProblem,
+        run: RunReport,
+        out: &mut [f32],
+    ) -> Result<BatchReport, FtimmError> {
+        if machine.mode.is_functional() {
+            let result = p.c.download(machine)?;
+            out.copy_from_slice(&result);
+        }
+        Ok(BatchReport {
+            run,
+            faults: run.faults,
+            seconds_per_element: run.seconds / self.count as f64,
+        })
+    }
+
     /// Execute the batch: `elements` is the stacked `(count·rows) × inner`
     /// matrix, `operator` the shared `inner × cols` operand, `out` the
     /// stacked `(count·rows) × cols` accumulator (read-modify-write).
@@ -71,22 +113,29 @@ impl GemmBatch {
         strategy: Strategy,
         cores: usize,
     ) -> Result<BatchReport, FtimmError> {
-        let shape = self.flat_shape();
-        let p = GemmProblem::alloc(machine, shape.m, shape.n, shape.k)?;
-        if machine.mode.is_functional() {
-            p.a.upload(machine, elements)?;
-            p.b.upload(machine, operator)?;
-            p.c.upload(machine, out)?;
-        }
+        let p = self.stage(machine, elements, operator, out)?;
         let (run, _plan) = ft.gemm(machine, &p, strategy, cores)?;
-        if machine.mode.is_functional() {
-            let result = p.c.download(machine)?;
-            out.copy_from_slice(&result);
-        }
-        Ok(BatchReport {
-            run,
-            seconds_per_element: run.seconds / self.count as f64,
-        })
+        self.finish(machine, &p, run, out)
+    }
+
+    /// Execute the batch under the resilience layer (ABFT-checked,
+    /// retried, degraded onto surviving cores) — the fault-tolerant
+    /// analogue of [`GemmBatch::run`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_resilient(
+        &self,
+        ft: &FtImm,
+        machine: &mut Machine,
+        elements: &[f32],
+        operator: &[f32],
+        out: &mut [f32],
+        strategy: Strategy,
+        cores: usize,
+        rcfg: &ResilienceConfig,
+    ) -> Result<BatchReport, FtimmError> {
+        let p = self.stage(machine, elements, operator, out)?;
+        let (run, _plan) = ft.gemm_resilient(machine, &p, strategy, cores, rcfg)?;
+        self.finish(machine, &p, run, out)
     }
 }
 
@@ -134,6 +183,72 @@ mod tests {
         assert!(GemmBatch::new(0, 4, 4, 4).is_err());
         assert!(GemmBatch::new(4, 4, 4, 97).is_err());
         assert!(GemmBatch::new(4, 4, 4, 96).is_ok());
+    }
+
+    #[test]
+    fn every_zero_dimension_is_rejected_with_a_diagnostic() {
+        for (count, rows, inner, cols) in [(0, 4, 4, 4), (4, 0, 4, 4), (4, 4, 0, 4), (4, 4, 4, 0)] {
+            let e = GemmBatch::new(count, rows, inner, cols).unwrap_err();
+            assert!(
+                matches!(&e, FtimmError::Invalid(s) if s.contains("empty batch")),
+                "({count},{rows},{inner},{cols}) gave {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_cols_error_names_the_limit() {
+        let e = GemmBatch::new(4, 4, 4, kernelgen::MAX_NA + 1).unwrap_err();
+        let msg = e.to_string();
+        assert!(
+            msg.contains(&kernelgen::MAX_NA.to_string()),
+            "error should cite the limit: {msg}"
+        );
+    }
+
+    #[test]
+    fn resilient_batch_recovers_and_matches_the_clean_run() {
+        let batch = GemmBatch::new(20, 8, 12, 4).unwrap();
+        let shape = batch.flat_shape();
+        let ft = FtImm::new(HwConfig::default());
+        let elements = fill_matrix(shape.m * shape.k, 1);
+        let operator = fill_matrix(shape.k * shape.n, 2);
+
+        let mut m_clean = Machine::with_mode(ExecMode::Fast);
+        let mut want = vec![0.0f32; shape.m * shape.n];
+        batch
+            .run(
+                &ft,
+                &mut m_clean,
+                &elements,
+                &operator,
+                &mut want,
+                Strategy::Auto,
+                4,
+            )
+            .unwrap();
+
+        let mut m = Machine::with_mode(ExecMode::Fast);
+        m.install_faults(&dspsim::FaultPlan::new(17).corrupt_dma(dspsim::DmaPath::DdrToAm, 1));
+        let mut out = vec![0.0f32; shape.m * shape.n];
+        let rep = batch
+            .run_resilient(
+                &ft,
+                &mut m,
+                &elements,
+                &operator,
+                &mut out,
+                Strategy::Auto,
+                4,
+                &crate::ResilienceConfig::default(),
+            )
+            .unwrap();
+        assert_eq!(rep.faults.dma_corruptions, 1);
+        assert!(rep.faults.retries >= 1);
+        assert_eq!(rep.faults, rep.run.faults);
+        for (a, b) in want.iter().zip(&out) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Library error type.
 
+use dspsim::{SimError, WatchdogUnit};
 use std::fmt;
 
 /// Errors from the ftIMM library.
@@ -11,6 +12,55 @@ pub enum FtimmError {
     Gen(kernelgen::GenError),
     /// Problem-level validation failure.
     Invalid(String),
+}
+
+impl FtimmError {
+    /// Whether this error is a *transient hardware fault* the resilience
+    /// layers retry or route around: an injected DMA timeout, a hung DMA
+    /// caught by the watchdog, a core failure, or detected data
+    /// corruption.  Deadline preemption and caller errors (invalid
+    /// problems, capacity) are not transient.
+    pub fn is_transient_fault(&self) -> bool {
+        matches!(
+            self,
+            FtimmError::Sim(
+                SimError::DmaTimeout { .. }
+                    | SimError::CoreFailed { .. }
+                    | SimError::DataCorrupt { .. }
+                    | SimError::WatchdogTripped {
+                        unit: WatchdogUnit::Dma { .. },
+                        ..
+                    }
+            )
+        )
+    }
+
+    /// Whether this error is a deadline preemption (the armed watchdog
+    /// stopped a core that passed its deadline).
+    pub fn is_deadline(&self) -> bool {
+        matches!(
+            self,
+            FtimmError::Sim(SimError::WatchdogTripped {
+                unit: WatchdogUnit::Core { .. },
+                ..
+            })
+        )
+    }
+
+    /// The physical core this error implicates, if it carries one.
+    pub fn implicated_core(&self) -> Option<usize> {
+        match self {
+            FtimmError::Sim(
+                SimError::DmaTimeout { core, .. }
+                | SimError::CoreFailed { core, .. }
+                | SimError::WatchdogTripped {
+                    unit: WatchdogUnit::Dma { core, .. } | WatchdogUnit::Core { core },
+                    ..
+                },
+            ) => Some(*core),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for FtimmError {

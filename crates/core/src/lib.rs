@@ -37,6 +37,7 @@
 pub mod adjust;
 pub mod api;
 pub mod batch;
+pub mod engine;
 pub mod error;
 pub mod grid;
 pub mod invoke;
@@ -55,12 +56,15 @@ pub use adjust::{
 };
 pub use api::{FtImm, Strategy};
 pub use batch::{BatchReport, GemmBatch};
+pub use engine::{BreakerState, EngineConfig, Job, JobId, JobOutcome, JobQueue, JobRecord};
 pub use error::FtimmError;
 pub use grid::{ClusterGrid, GridReport};
 pub use invoke::invoke_kernel;
 pub use kpar::{run_kpar, KparBlocks};
 pub use matrix::{DdrMatrix, GemmProblem};
 pub use mpar::{run_mpar, MparBlocks};
-pub use resilience::{max_abs_error_vs_oracle, run_resilient, ResilienceConfig};
+pub use resilience::{
+    max_abs_error_vs_oracle, run_resilient, run_resilient_full, ResilienceConfig, ResilientRun,
+};
 pub use shape::{GemmShape, IrregularType};
 pub use tgemm::{run_tgemm, TgemmParams};

@@ -1,5 +1,5 @@
-//! Resilient GEMM execution: ABFT checksums, bounded retries, and
-//! graceful degradation onto surviving cores.
+//! Resilient GEMM execution: ABFT checksums, bounded retries,
+//! checkpointed recovery and graceful degradation onto surviving cores.
 //!
 //! [`run_resilient`] wraps any resolved plan ([`ChosenStrategy`]) with a
 //! recovery loop:
@@ -12,19 +12,35 @@
 //!   snapshot and only that row range is re-executed, which is bit-exact
 //!   with a fault-free run (per-element accumulation order depends only
 //!   on block sizes, not on row partitioning).
-//! * **DMA timeouts** abort the run mid-flight; `C` is restored in full
-//!   and the run retried after an exponential backoff charged on the
+//! * **DMA timeouts** abort the run mid-flight — either after the fault
+//!   plan's full hang charge or earlier when a watchdog DMA budget is
+//!   armed ([`dspsim::WatchdogConfig`]).  The affected row span is
+//!   restored and retried after an exponential backoff charged on the
 //!   simulated clock.
 //! * **Core failures** retire the dead core from the machine's
 //!   logical→physical map and re-run on the survivors.  M-parallel and
 //!   TGEMM re-runs stay bit-exact; K-parallel re-runs regroup the GSM
 //!   reduction and are only numerically (not bitwise) equivalent.
+//! * **Checkpointing** ([`ResilienceConfig::ckpt_rows`] > 0) splits the M
+//!   dimension into row spans that execute and row-checksum-verify one at
+//!   a time.  A fault then costs only the unverified span: verified spans
+//!   are never restored or re-executed, so
+//!   [`dspsim::FaultStats::rows_reexecuted`] stays strictly below a full
+//!   restart's.  Span-by-span execution is bit-exact with the monolithic
+//!   run (row partitioning does not change per-element accumulation
+//!   order) but *not* time-identical — each span reloads its `B` panels —
+//!   which is the classic checkpoint overhead trade-off.
+//! * **Deadline preemption** ([`dspsim::SimError::WatchdogTripped`] with
+//!   a `Core` unit) is *not* retried: it is a budget decision by the
+//!   caller, surfaced immediately together with the rows verified so far
+//!   (see [`ResilientRun`]).
 //!
 //! The checksum *verification* itself is host-side bookkeeping and is
 //! modelled as free; only recovery work (backoff stalls, restored
 //! transfers, re-executed tiles) is charged on the timing model.  With an
-//! empty fault plan the wrapper adds no simulated time and no stat
-//! perturbation: the run report is bit-identical to an unwrapped run.
+//! empty fault plan and checkpointing off the wrapper adds no simulated
+//! time and no stat perturbation: the run report is bit-identical to an
+//! unwrapped run.
 
 use crate::{ChosenStrategy, DdrMatrix, FtImm, FtimmError, GemmProblem};
 use dspsim::{Machine, RunReport, SimError};
@@ -44,6 +60,13 @@ pub struct ResilienceConfig {
     /// exponent-bit flip can cause; very deep problems (K ≫ 10⁴) may need
     /// it loosened.
     pub abft_tol: f64,
+    /// Checkpoint granularity in `C` rows.  `0` (the default) disables
+    /// checkpointing: the whole problem is one span and a mid-run fault
+    /// restarts it all.  A positive value executes and verifies the
+    /// problem span by span, so recovery re-executes only the unverified
+    /// span.  Bit-exact either way; timing differs (per-span `B` panel
+    /// reloads).
+    pub ckpt_rows: usize,
 }
 
 impl Default for ResilienceConfig {
@@ -52,6 +75,7 @@ impl Default for ResilienceConfig {
             max_retries: 4,
             backoff_base_s: 1e-6,
             abft_tol: 1e-6,
+            ckpt_rows: 0,
         }
     }
 }
@@ -115,22 +139,27 @@ impl AbftRef {
         })
     }
 
-    /// Check the finished `C`; `None` when clean, otherwise the smallest
-    /// contiguous row range `[r0, r1)` covering every suspect row (a
-    /// column-only mismatch — a compensated row — flags everything).
-    fn verify(
+    /// Check rows `[r0, r1)` of the finished `C` against their expected
+    /// row sums; `None` when clean, otherwise the smallest contiguous row
+    /// range covering every suspect row in the window.
+    fn verify_rows(
         &self,
         m: &mut Machine,
         p: &GemmProblem,
         tol: f64,
+        r0: usize,
+        r1: usize,
     ) -> Result<Option<(usize, usize)>, FtimmError> {
-        let (mm, nn) = (p.m(), p.n());
-        let c = p.c.download(m).map_err(FtimmError::Sim)?;
+        let nn = p.n();
+        let c =
+            p.c.view(r0, 0, r1 - r0, nn)
+                .download(m)
+                .map_err(FtimmError::Sim)?;
         let mut bad_rows: Option<(usize, usize)> = None;
-        for i in 0..mm {
+        for i in r0..r1 {
             let (mut sum, mut mag) = (0.0f64, 0.0f64);
             for j in 0..nn {
-                let v = c[i * nn + j] as f64;
+                let v = c[(i - r0) * nn + j] as f64;
                 sum += v;
                 mag += v.abs();
             }
@@ -140,13 +169,28 @@ impl AbftRef {
             if !sum.is_finite() || (sum - e).abs() > tol * (1.0 + e.abs() + mag) {
                 bad_rows = Some(match bad_rows {
                     None => (i, i + 1),
-                    Some((r0, _)) => (r0, i + 1),
+                    Some((b0, _)) => (b0, i + 1),
                 });
             }
         }
-        if bad_rows.is_some() {
-            return Ok(bad_rows);
+        Ok(bad_rows)
+    }
+
+    /// Check the finished `C` in full; `None` when clean, otherwise the
+    /// smallest contiguous row range `[r0, r1)` covering every suspect
+    /// row (a column-only mismatch — a compensated row — flags
+    /// everything).
+    fn verify(
+        &self,
+        m: &mut Machine,
+        p: &GemmProblem,
+        tol: f64,
+    ) -> Result<Option<(usize, usize)>, FtimmError> {
+        let (mm, nn) = (p.m(), p.n());
+        if let Some(bad) = self.verify_rows(m, p, tol, 0, mm)? {
+            return Ok(Some(bad));
         }
+        let c = p.c.download(m).map_err(FtimmError::Sim)?;
         for j in 0..nn {
             let (mut sum, mut mag) = (0.0f64, 0.0f64);
             for i in 0..mm {
@@ -198,6 +242,217 @@ fn backoff(m: &mut Machine, cores: usize, rcfg: &ResilienceConfig, attempt: u32)
     }
 }
 
+/// Outcome of [`run_resilient_full`]: the run result plus the recovery
+/// progress the caller (e.g. the job engine) needs even when the run
+/// fails — how far checkpoints got and which cores were implicated.
+#[derive(Debug)]
+pub struct ResilientRun {
+    /// The run report, or the terminal error.
+    pub result: Result<RunReport, FtimmError>,
+    /// `C` rows whose checkpoint completed (and, in functional modes,
+    /// verified) before the run ended.  Equals `rows_total` on success.
+    pub rows_verified: usize,
+    /// The problem's M dimension.
+    pub rows_total: usize,
+    /// Physical cores implicated in transient faults, in occurrence
+    /// order — including faults that were absorbed by a successful
+    /// recovery.  Circuit breakers feed on this.
+    pub fault_cores: Vec<usize>,
+}
+
+/// Shared immutable context for one resilient run.
+struct Ctx<'a> {
+    ft: &'a FtImm,
+    plan: &'a ChosenStrategy,
+    cores: usize,
+    rcfg: &'a ResilienceConfig,
+}
+
+/// Mutable recovery bookkeeping for one resilient run.
+struct Recovery {
+    attempt: u32,
+    retries: u64,
+    recomputed: u64,
+    rows_reexecuted: u64,
+    rows_verified: usize,
+    fault_cores: Vec<usize>,
+}
+
+impl Recovery {
+    fn new() -> Self {
+        Recovery {
+            attempt: 0,
+            retries: 0,
+            recomputed: 0,
+            rows_reexecuted: 0,
+            rows_verified: 0,
+            fault_cores: Vec::new(),
+        }
+    }
+
+    /// Charge one recovery attempt against the budget (returning `e` as
+    /// the terminal error when it is exhausted) and stall the cores for
+    /// the exponential backoff.
+    fn charge(&mut self, cx: &Ctx, m: &mut Machine, e: FtimmError) -> Result<(), FtimmError> {
+        if self.attempt >= cx.rcfg.max_retries {
+            return Err(e);
+        }
+        self.attempt += 1;
+        self.retries += 1;
+        self.recomputed += 1;
+        backoff(m, cx.cores, cx.rcfg, self.attempt);
+        Ok(())
+    }
+}
+
+/// Execute rows `[r0, r1)` until one pass completes without a transient
+/// fault, restoring and re-running the span on each absorbed fault.
+fn execute_span(
+    cx: &Ctx,
+    m: &mut Machine,
+    p: &GemmProblem,
+    abft: Option<&AbftRef>,
+    rec: &mut Recovery,
+    r0: usize,
+    r1: usize,
+) -> Result<(), FtimmError> {
+    loop {
+        let sub = row_span(p, r0, r1);
+        match cx.ft.run_plan(m, &sub, cx.plan, cx.cores) {
+            Ok(_) => return Ok(()),
+            Err(e) if e.is_transient_fault() => {
+                if let Some(c) = e.implicated_core() {
+                    rec.fault_cores.push(c);
+                }
+                if let FtimmError::Sim(SimError::CoreFailed { core, .. }) = &e {
+                    m.retire_core(*core);
+                    if m.alive_cores() == 0 {
+                        return Err(e);
+                    }
+                }
+                rec.charge(cx, m, e)?;
+                // The aborted pass may have stored partial C panels inside
+                // this span: restore the span and start it over.  Rows
+                // outside the span were never touched by this pass.
+                if let Some(r) = abft {
+                    r.restore_rows(m, p, r0, r1)?;
+                }
+                rec.rows_reexecuted += (r1 - r0) as u64;
+            }
+            // Deadline preemption and caller errors are terminal here.
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// The corruption error reported when the retry budget runs out with a
+/// row still failing verification.
+fn corrupt_err(p: &GemmProblem, row: usize) -> FtimmError {
+    FtimmError::Sim(SimError::DataCorrupt {
+        region: "DDR",
+        offset: p.c.elem_off(row, 0),
+    })
+}
+
+fn run_spans(
+    cx: &Ctx,
+    m: &mut Machine,
+    p: &GemmProblem,
+    rec: &mut Recovery,
+) -> Result<RunReport, FtimmError> {
+    p.validate().map_err(FtimmError::Invalid)?;
+    let abft = if m.mode.is_functional() {
+        Some(AbftRef::capture(m, p)?)
+    } else {
+        None
+    };
+
+    let mm = p.m();
+    let ckpt = cx.rcfg.ckpt_rows;
+    let spans: Vec<(usize, usize)> = if ckpt == 0 || ckpt >= mm {
+        vec![(0, mm)]
+    } else {
+        (0..mm)
+            .step_by(ckpt)
+            .map(|r| (r, (r + ckpt).min(mm)))
+            .collect()
+    };
+    let checkpointing = spans.len() > 1;
+
+    for &(s0, s1) in &spans {
+        execute_span(cx, m, p, abft.as_ref(), rec, s0, s1)?;
+        if checkpointing {
+            // Row-checksum gate for this checkpoint span.  Column sums
+            // need the whole C and run once at the end.
+            if let Some(r) = &abft {
+                loop {
+                    match r.verify_rows(m, p, cx.rcfg.abft_tol, s0, s1)? {
+                        None => break,
+                        Some((b0, b1)) => {
+                            rec.charge(cx, m, corrupt_err(p, b0))?;
+                            r.restore_rows(m, p, b0, b1)?;
+                            rec.rows_reexecuted += (b1 - b0) as u64;
+                            execute_span(cx, m, p, abft.as_ref(), rec, b0, b1)?;
+                        }
+                    }
+                }
+            }
+        }
+        rec.rows_verified = s1;
+    }
+
+    // Full-matrix verification: re-checks every row sum and adds the
+    // column pass that catches row-compensated corruption.
+    if let Some(r) = &abft {
+        loop {
+            match r.verify(m, p, cx.rcfg.abft_tol)? {
+                None => break,
+                Some((b0, b1)) => {
+                    rec.charge(cx, m, corrupt_err(p, b0))?;
+                    r.restore_rows(m, p, b0, b1)?;
+                    rec.rows_reexecuted += (b1 - b0) as u64;
+                    execute_span(cx, m, p, abft.as_ref(), rec, b0, b1)?;
+                }
+            }
+        }
+    }
+
+    let ids: Vec<usize> = (0..cx.cores.clamp(1, m.alive_cores())).collect();
+    let mut rep = m.report(p.flops(), &ids);
+    rep.faults.retries = rec.retries;
+    rep.faults.recomputed_tiles = rec.recomputed;
+    rep.faults.rows_reexecuted = rec.rows_reexecuted;
+    Ok(rep)
+}
+
+/// Execute a resolved plan with ABFT verification, bounded retries,
+/// optional row-span checkpointing and graceful core degradation,
+/// reporting recovery progress even on failure.  See the module docs for
+/// the fault model.
+pub fn run_resilient_full(
+    ft: &FtImm,
+    m: &mut Machine,
+    p: &GemmProblem,
+    plan: &ChosenStrategy,
+    cores: usize,
+    rcfg: &ResilienceConfig,
+) -> ResilientRun {
+    let cx = Ctx {
+        ft,
+        plan,
+        cores,
+        rcfg,
+    };
+    let mut rec = Recovery::new();
+    let result = run_spans(&cx, m, p, &mut rec);
+    ResilientRun {
+        result,
+        rows_verified: rec.rows_verified,
+        rows_total: p.m(),
+        fault_cores: rec.fault_cores,
+    }
+}
+
 /// Execute a resolved plan with ABFT verification, bounded retries and
 /// graceful core degradation.  See the module docs for the fault model.
 pub fn run_resilient(
@@ -208,85 +463,7 @@ pub fn run_resilient(
     cores: usize,
     rcfg: &ResilienceConfig,
 ) -> Result<RunReport, FtimmError> {
-    p.validate().map_err(FtimmError::Invalid)?;
-    let functional = m.mode.is_functional();
-    let abft = if functional {
-        Some(AbftRef::capture(m, p)?)
-    } else {
-        None
-    };
-
-    let mut retries = 0u64;
-    let mut recomputed = 0u64;
-    let mut attempt = 0u32;
-    // Rows still to (re-)execute; verification may re-open a span.
-    let mut pending = Some((0usize, p.m()));
-
-    loop {
-        if let Some((r0, r1)) = pending {
-            let sub = row_span(p, r0, r1);
-            match ft.run_plan(m, &sub, plan, cores) {
-                Ok(_) => pending = None,
-                Err(e @ FtimmError::Sim(SimError::DmaTimeout { .. })) => {
-                    if attempt >= rcfg.max_retries {
-                        return Err(e);
-                    }
-                    attempt += 1;
-                    retries += 1;
-                    recomputed += 1;
-                    backoff(m, cores, rcfg, attempt);
-                    // The aborted run may have stored partial C panels:
-                    // restore the whole matrix and start over.
-                    if let Some(r) = &abft {
-                        r.restore_rows(m, p, 0, p.m())?;
-                    }
-                    pending = Some((0, p.m()));
-                }
-                Err(FtimmError::Sim(SimError::CoreFailed { core, at })) => {
-                    m.retire_core(core);
-                    if m.alive_cores() == 0 || attempt >= rcfg.max_retries {
-                        return Err(FtimmError::Sim(SimError::CoreFailed { core, at }));
-                    }
-                    attempt += 1;
-                    retries += 1;
-                    recomputed += 1;
-                    backoff(m, cores, rcfg, attempt);
-                    if let Some(r) = &abft {
-                        r.restore_rows(m, p, 0, p.m())?;
-                    }
-                    pending = Some((0, p.m()));
-                }
-                Err(e) => return Err(e),
-            }
-            continue;
-        }
-        match &abft {
-            None => break,
-            Some(r) => match r.verify(m, p, rcfg.abft_tol)? {
-                None => break,
-                Some((r0, r1)) => {
-                    if attempt >= rcfg.max_retries {
-                        return Err(FtimmError::Sim(SimError::DataCorrupt {
-                            region: "DDR",
-                            offset: p.c.elem_off(r0, 0),
-                        }));
-                    }
-                    attempt += 1;
-                    retries += 1;
-                    recomputed += 1;
-                    backoff(m, cores, rcfg, attempt);
-                    r.restore_rows(m, p, r0, r1)?;
-                    pending = Some((r0, r1));
-                }
-            },
-        }
-    }
-
-    let ids: Vec<usize> = (0..cores.clamp(1, m.alive_cores())).collect();
-    let mut rep = m.report(p.flops(), &ids);
-    rep.faults.retries = retries;
-    rep.faults.recomputed_tiles = recomputed;
-    Ok(rep)
+    run_resilient_full(ft, m, p, plan, cores, rcfg).result
 }
 
 /// A [`DdrMatrix`]-level convenience: verify a finished `C` against a
@@ -310,7 +487,7 @@ pub fn max_abs_error_vs_oracle(
 mod tests {
     use super::*;
     use crate::{reference, Strategy};
-    use dspsim::{ExecMode, FaultPlan, HwConfig};
+    use dspsim::{DmaPath, ExecMode, FaultPlan, HwConfig};
 
     fn problem(m: &mut Machine, mm: usize, nn: usize, kk: usize) -> GemmProblem {
         let p = GemmProblem::alloc(m, mm, nn, kk).unwrap();
@@ -355,6 +532,7 @@ mod tests {
         assert_eq!(rep.faults.dma_corruptions, 1);
         assert!(rep.faults.retries >= 1);
         assert!(rep.faults.recomputed_tiles >= 1);
+        assert!(rep.faults.rows_reexecuted >= 1);
 
         // Recovered C is bit-identical to a fault-free run.
         let mut m2 = Machine::with_mode(ExecMode::Fast);
@@ -382,6 +560,58 @@ mod tests {
         assert!(
             matches!(err, FtimmError::Sim(SimError::DataCorrupt { .. })),
             "got {err}"
+        );
+    }
+
+    #[test]
+    fn checkpointed_fault_free_run_is_bit_exact_with_the_monolithic_run() {
+        let ft = FtImm::new(HwConfig::default());
+        let plan = ft.plan(&crate::GemmShape::new(64, 24, 48), Strategy::MPar, 4);
+
+        let mut m1 = Machine::with_mode(ExecMode::Fast);
+        let p1 = problem(&mut m1, 64, 24, 48);
+        ft.run_plan(&mut m1, &p1, &plan, 4).unwrap();
+        let want = p1.c.download(&mut m1).unwrap();
+
+        let mut m2 = Machine::with_mode(ExecMode::Fast);
+        let p2 = problem(&mut m2, 64, 24, 48);
+        let rcfg = ResilienceConfig {
+            ckpt_rows: 16,
+            ..ResilienceConfig::default()
+        };
+        let run = run_resilient_full(&ft, &mut m2, &p2, &plan, 4, &rcfg);
+        let rep = run.result.unwrap();
+        assert_eq!(run.rows_verified, 64);
+        assert_eq!(rep.faults.rows_reexecuted, 0);
+        let got = p2.c.download(&mut m2).unwrap();
+        for (a, b) in want.iter().zip(&got) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn failed_run_reports_checkpoint_progress() {
+        let ft = FtImm::new(HwConfig::default());
+        let mut m = Machine::with_mode(ExecMode::Fast);
+        let p = problem(&mut m, 64, 24, 48);
+        // A corruption in the third of four checkpoint spans (DdrToSm
+        // sees two transfers per span) with a zero retry budget: spans 1
+        // and 2 verify, span 3 fails terminally.
+        m.install_faults(&FaultPlan::new(5).corrupt_dma(DmaPath::DdrToSm, 5));
+        let plan = ft.plan(&crate::GemmShape::new(64, 24, 48), Strategy::MPar, 4);
+        let rcfg = ResilienceConfig {
+            max_retries: 0,
+            ckpt_rows: 16,
+            ..ResilienceConfig::default()
+        };
+        let run = run_resilient_full(&ft, &mut m, &p, &plan, 4, &rcfg);
+        assert!(run.result.is_err());
+        assert_eq!(run.rows_total, 64);
+        assert!(
+            run.rows_verified > 0 && run.rows_verified < 64,
+            "corruption in a later span should leave earlier checkpoints verified \
+             (got {} rows)",
+            run.rows_verified
         );
     }
 }

@@ -2,6 +2,25 @@
 
 use std::fmt;
 
+/// The unit a tripped watchdog blames (see
+/// [`crate::machine::Machine::arm_watchdog`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WatchdogUnit {
+    /// A DMA engine whose transfer hung past the watchdog's DMA budget.
+    Dma {
+        /// Physical core whose engine issued the hung transfer.
+        core: usize,
+        /// The path the transfer used.
+        path: crate::DmaPath,
+    },
+    /// A core that reached the armed deadline without retiring its work:
+    /// the next operation it tried to issue was preempted.
+    Core {
+        /// The physical core that passed the deadline.
+        core: usize,
+    },
+}
+
 /// Errors raised by the simulator.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SimError {
@@ -61,6 +80,14 @@ pub enum SimError {
         /// Simulated time of the failure.
         at: f64,
     },
+    /// The armed watchdog fired: a DMA transfer hung past its budget or a
+    /// core reached the deadline without retiring its work.
+    WatchdogTripped {
+        /// The unit the watchdog blames.
+        unit: WatchdogUnit,
+        /// Simulated time at which the watchdog fired.
+        at: f64,
+    },
     /// Data failed an integrity check (raised by recovery layers when
     /// corruption survives their retry budget).
     DataCorrupt {
@@ -111,6 +138,18 @@ impl fmt::Display for SimError {
             SimError::CoreFailed { core, at } => {
                 write!(f, "core {core} failed permanently at {at:.6e}s")
             }
+            SimError::WatchdogTripped { unit, at } => match unit {
+                WatchdogUnit::Dma { core, path } => write!(
+                    f,
+                    "watchdog tripped at {at:.6e}s: core {core} DMA over {path:?} hung past its \
+                     budget"
+                ),
+                WatchdogUnit::Core { core } => write!(
+                    f,
+                    "watchdog tripped at {at:.6e}s: core {core} passed the deadline without \
+                     retiring"
+                ),
+            },
             SimError::DataCorrupt { region, offset } => {
                 write!(f, "data corruption detected in {region} near byte {offset}")
             }

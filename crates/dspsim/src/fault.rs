@@ -192,6 +192,8 @@ pub(crate) struct FaultState {
     pub injected_corruptions: u64,
     /// Timeouts injected so far.
     pub injected_timeouts: u64,
+    /// Times the armed watchdog fired (hung DMA or deadline preemption).
+    pub watchdog_trips: u64,
 }
 
 impl FaultState {

@@ -26,13 +26,14 @@ pub mod exec;
 pub mod fault;
 pub mod machine;
 pub mod mem;
+pub mod planfile;
 pub mod stats;
 pub mod trace;
 
 pub use crate::core::Core;
 pub use config::HwConfig;
-pub use dma::{transfer_time, Dma2d, DmaPath, DmaTicket};
-pub use error::SimError;
+pub use dma::{transfer_time, Dma2d, DmaPath, DmaTicket, WatchdogConfig};
+pub use error::{SimError, WatchdogUnit};
 pub use exec::{run_program, ExecReport, KernelBindings};
 pub use fault::{CoreFailure, DmaFault, DmaFaultKind, FaultPlan, MemFault, MemTarget};
 pub use machine::{Cluster, ExecMode, Machine, DDR_CAPACITY};

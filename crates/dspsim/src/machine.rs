@@ -3,7 +3,7 @@
 use crate::fault::{splitmix64, DmaFaultKind, FaultState, MemTarget};
 use crate::{
     transfer_time, Core, CoreStats, Dma2d, DmaPath, DmaTicket, FaultPlan, FaultStats, HwConfig,
-    MemRegion, RunReport, SimError,
+    MemRegion, RunReport, SimError, WatchdogConfig, WatchdogUnit,
 };
 use serde::{Deserialize, Serialize};
 
@@ -56,6 +56,8 @@ pub struct Machine {
     core_map: Vec<usize>,
     /// Armed fault-injection state (empty unless a plan is installed).
     fault: FaultState,
+    /// Armed watchdog budgets (`None` keeps every hot path untouched).
+    watchdog: Option<WatchdogConfig>,
 }
 
 /// Default modelled DDR partition capacity (64 GiB — large enough for the
@@ -80,6 +82,7 @@ impl Machine {
             active_streams: 1,
             core_map,
             fault: FaultState::default(),
+            watchdog: None,
         }
     }
 
@@ -131,6 +134,15 @@ impl Machine {
         self.cluster.cores[self.core_map[id]].t_compute
     }
 
+    /// Simulated time (max of compute and DMA clocks) of a *physical*
+    /// core, whether or not it is currently mapped.  Lets supervisors
+    /// (e.g. circuit breakers) reason about cores they have routed
+    /// around, whose clocks [`Machine::elapsed`] no longer covers.
+    pub fn physical_time(&self, physical: usize) -> f64 {
+        let c = &self.cluster.cores[physical];
+        c.t_compute.max(c.t_dma_free)
+    }
+
     /// Latest compute time over all *alive* cores (simulated makespan).
     pub fn elapsed(&self) -> f64 {
         self.core_map
@@ -178,6 +190,75 @@ impl Machine {
     /// cores.  The dead core's clocks and counters are frozen as-is.
     pub fn retire_core(&mut self, physical: usize) {
         self.core_map.retain(|&p| p != physical);
+    }
+
+    /// The current logical→physical core map.
+    pub fn core_map(&self) -> &[usize] {
+        &self.core_map
+    }
+
+    /// Replace the logical→physical core map (e.g. to temporarily route
+    /// work around a circuit-broken core).  Unlike [`Machine::retire_core`]
+    /// this is reversible: cores left out keep their state and can be
+    /// mapped back in later.  Panics on an empty, out-of-range, duplicated
+    /// or known-failed entry (a caller bug, not a simulated fault).
+    pub fn set_core_map(&mut self, map: &[usize]) {
+        assert!(!map.is_empty(), "core map must keep at least one core");
+        let mut seen = vec![false; self.cfg.cores_per_cluster];
+        for &p in map {
+            assert!(p < self.cfg.cores_per_cluster, "core {p} out of range");
+            assert!(!seen[p], "core {p} duplicated in map");
+            assert!(!self.is_core_failed(p), "core {p} has failed permanently");
+            seen[p] = true;
+        }
+        self.core_map = map.to_vec();
+    }
+
+    /// Whether a physical core has failed permanently (scheduled death
+    /// reached during a run).
+    pub fn is_core_failed(&self, physical: usize) -> bool {
+        self.fault.failed.get(physical).copied().unwrap_or(false)
+    }
+
+    /// Arm the watchdog: subsequent preemption points (every DMA issue,
+    /// plus explicit [`Machine::preempt_point`] calls) enforce the given
+    /// simulated-time budgets.  Replaces any previously armed config.
+    pub fn arm_watchdog(&mut self, cfg: WatchdogConfig) {
+        self.watchdog = Some(cfg);
+    }
+
+    /// Disarm the watchdog (the default state: no budget checks at all).
+    pub fn disarm_watchdog(&mut self) {
+        self.watchdog = None;
+    }
+
+    /// The armed watchdog config, if any.
+    pub fn watchdog(&self) -> Option<&WatchdogConfig> {
+        self.watchdog.as_ref()
+    }
+
+    /// A deadline preemption point: if a watchdog is armed and this
+    /// logical core's clock has reached the deadline, refuse further work
+    /// with [`SimError::WatchdogTripped`].  Work already in flight is
+    /// never torn mid-transfer — the check runs before new work is issued,
+    /// so detection granularity is one transfer/kernel call.  Called
+    /// automatically on every DMA issue; long compute-only loops can call
+    /// it explicitly.
+    pub fn preempt_point(&mut self, id: usize) -> Result<(), SimError> {
+        let Some(wd) = self.watchdog else {
+            return Ok(());
+        };
+        let phys = self.core_map[id];
+        let core = &self.cluster.cores[phys];
+        let now = core.t_compute.max(core.t_dma_free);
+        if now >= wd.deadline_s {
+            self.fault.watchdog_trips += 1;
+            return Err(SimError::WatchdogTripped {
+                unit: WatchdogUnit::Core { core: phys },
+                at: now,
+            });
+        }
+        Ok(())
     }
 
     /// Check whether a logical core is (still) allowed to issue work: a
@@ -243,6 +324,7 @@ impl Machine {
     /// completes the transfer but flips one f32 of the destination.
     pub fn dma(&mut self, id: usize, path: DmaPath, desc: &Dma2d) -> Result<DmaTicket, SimError> {
         self.check_core_alive(id)?;
+        self.preempt_point(id)?;
         let armed = if self.fault.dma_armed() {
             self.fault.take_dma_fault(path)
         } else {
@@ -253,11 +335,24 @@ impl Machine {
                 self.fault.injected_timeouts += 1;
                 let phys = self.core_map[id];
                 let timeout = self.fault.timeout_s;
+                let budget = self.watchdog.map_or(f64::INFINITY, |w| w.dma_budget_s);
                 let core = &mut self.cluster.cores[phys];
                 let start = core.t_dma_free.max(core.t_compute);
+                if budget < timeout {
+                    // An armed watchdog detects the hang after its DMA
+                    // budget instead of eating the full hang charge.
+                    let at = start + budget;
+                    core.t_dma_free = at;
+                    core.t_compute = at;
+                    self.fault.watchdog_trips += 1;
+                    return Err(SimError::WatchdogTripped {
+                        unit: WatchdogUnit::Dma { core: phys, path },
+                        at,
+                    });
+                }
                 let at = start + timeout;
-                // The engine hangs until the watchdog fires and the core
-                // blocks on it; no data moves.
+                // The engine hangs until the fault plan's timeout fires
+                // and the core blocks on it; no data moves.
                 core.t_dma_free = at;
                 core.t_compute = at;
                 return Err(SimError::DmaTimeout {
@@ -400,8 +495,10 @@ impl Machine {
             dma_timeouts: self.fault.injected_timeouts,
             bit_flips,
             cores_lost: self.fault.failed.iter().filter(|&&f| f).count() as u64,
+            watchdog_trips: self.fault.watchdog_trips,
             retries: 0,
             recomputed_tiles: 0,
+            rows_reexecuted: 0,
         }
     }
 
@@ -526,6 +623,98 @@ mod tests {
         let mut out = [0.0; 6];
         m.core_mut(0).am.read_f32_slice(0, &mut out).unwrap();
         assert_eq!(out, [0.0, 1.0, 2.0, 10.0, 11.0, 12.0]);
+    }
+
+    #[test]
+    fn deadline_preempts_new_work_at_a_reproducible_instant() {
+        let run = || {
+            let mut m = Machine::with_mode(ExecMode::Timing);
+            m.arm_watchdog(WatchdogConfig::with_deadline(1e-6));
+            let mut err = None;
+            for _ in 0..64 {
+                match m.dma(0, DmaPath::DdrToAm, &Dma2d::flat(0, 0, 1 << 16)) {
+                    Ok(t) => m.wait(0, t),
+                    Err(e) => {
+                        err = Some(e);
+                        break;
+                    }
+                }
+            }
+            (err.unwrap(), m.fault_stats().watchdog_trips, m.elapsed())
+        };
+        let (e1, trips1, t1) = run();
+        let (e2, _, t2) = run();
+        assert_eq!(e1, e2, "deadline trip must be deterministic");
+        assert_eq!(t1.to_bits(), t2.to_bits());
+        assert_eq!(trips1, 1);
+        match e1 {
+            SimError::WatchdogTripped {
+                unit: crate::WatchdogUnit::Core { core: 0 },
+                at,
+            } => assert!(at >= 1e-6),
+            other => panic!("got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disarmed_watchdog_never_fires() {
+        let mut m = Machine::with_mode(ExecMode::Timing);
+        for _ in 0..16 {
+            let t = m
+                .dma(0, DmaPath::DdrToAm, &Dma2d::flat(0, 0, 1 << 20))
+                .unwrap();
+            m.wait(0, t);
+        }
+        m.preempt_point(0).unwrap();
+        assert_eq!(m.fault_stats().watchdog_trips, 0);
+    }
+
+    #[test]
+    fn dma_budget_detects_a_hang_before_the_full_timeout_charge() {
+        let plan = FaultPlan::new(1).timeout_dma(DmaPath::DdrToAm, 1);
+        // Without a watchdog: the full 1 ms hang is charged.
+        let mut slow = Machine::with_mode(ExecMode::Timing);
+        slow.install_faults(&plan);
+        let e = slow
+            .dma(0, DmaPath::DdrToAm, &Dma2d::flat(0, 0, 64))
+            .unwrap_err();
+        assert!(matches!(e, SimError::DmaTimeout { .. }));
+        // With a 10 µs budget: detected 100× earlier, blaming the unit.
+        let mut fast = Machine::with_mode(ExecMode::Timing);
+        fast.install_faults(&plan);
+        fast.arm_watchdog(WatchdogConfig {
+            dma_budget_s: 1e-5,
+            ..WatchdogConfig::default()
+        });
+        let e = fast
+            .dma(0, DmaPath::DdrToAm, &Dma2d::flat(0, 0, 64))
+            .unwrap_err();
+        match e {
+            SimError::WatchdogTripped {
+                unit:
+                    crate::WatchdogUnit::Dma {
+                        core: 0,
+                        path: DmaPath::DdrToAm,
+                    },
+                at,
+            } => assert!((at - 1e-5).abs() < 1e-12),
+            other => panic!("got {other:?}"),
+        }
+        assert!(fast.elapsed() < slow.elapsed() / 10.0);
+        assert_eq!(fast.fault_stats().watchdog_trips, 1);
+        assert_eq!(fast.fault_stats().dma_timeouts, 1);
+    }
+
+    #[test]
+    fn core_map_can_route_around_a_core_and_back() {
+        let mut m = Machine::with_mode(ExecMode::Timing);
+        m.set_core_map(&[2, 5]);
+        m.compute(0, 100); // logical 0 → physical 2
+        assert_eq!(m.physical_core(0), 2);
+        assert_eq!(m.alive_cores(), 2);
+        m.set_core_map(&[0, 1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(m.core_time(2), 100.0 * m.cfg.cycle_s());
+        assert_eq!(m.core_time(0), 0.0);
     }
 
     #[test]

@@ -1,0 +1,496 @@
+//! JSON round-tripping for [`FaultPlan`] so chaos scenarios can live in
+//! fixture files instead of being constructed in code.
+//!
+//! The workspace builds offline with a marker-only serde stub (see
+//! `vendor/serde`), so this module carries its own tiny JSON writer and
+//! recursive-descent reader.  The grammar is the subset the plan needs —
+//! objects, arrays, strings without exotic escapes, and numbers — and the
+//! reader rejects anything else loudly.  Numbers are kept as their source
+//! text until a field claims them, so `u64` seeds survive beyond the
+//! 2^53 range where an `f64` detour would silently round.
+//!
+//! ```
+//! use dspsim::{DmaPath, FaultPlan};
+//! let plan = FaultPlan::new(7).corrupt_dma(DmaPath::DdrToAm, 2);
+//! let text = plan.to_json();
+//! assert_eq!(FaultPlan::from_json(&text).unwrap(), plan);
+//! ```
+
+use crate::fault::{CoreFailure, DmaFault, MemFault};
+use crate::{DmaFaultKind, DmaPath, FaultPlan, MemTarget};
+use std::fmt::Write as _;
+
+// ---------------------------------------------------------------- writing
+
+fn dma_path_name(p: DmaPath) -> &'static str {
+    match p {
+        DmaPath::DdrToGsm => "DdrToGsm",
+        DmaPath::GsmToDdr => "GsmToDdr",
+        DmaPath::DdrToSm => "DdrToSm",
+        DmaPath::DdrToAm => "DdrToAm",
+        DmaPath::SmToDdr => "SmToDdr",
+        DmaPath::AmToDdr => "AmToDdr",
+        DmaPath::GsmToSm => "GsmToSm",
+        DmaPath::GsmToAm => "GsmToAm",
+        DmaPath::AmToGsm => "AmToGsm",
+    }
+}
+
+fn dma_path_from_name(s: &str) -> Result<DmaPath, String> {
+    Ok(match s {
+        "DdrToGsm" => DmaPath::DdrToGsm,
+        "GsmToDdr" => DmaPath::GsmToDdr,
+        "DdrToSm" => DmaPath::DdrToSm,
+        "DdrToAm" => DmaPath::DdrToAm,
+        "SmToDdr" => DmaPath::SmToDdr,
+        "AmToDdr" => DmaPath::AmToDdr,
+        "GsmToSm" => DmaPath::GsmToSm,
+        "GsmToAm" => DmaPath::GsmToAm,
+        "AmToGsm" => DmaPath::AmToGsm,
+        other => return Err(format!("unknown DMA path {other:?}")),
+    })
+}
+
+impl FaultPlan {
+    /// Serialise the plan as pretty-printed JSON (stable field order, so
+    /// fixtures diff cleanly).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"seed\": {},", self.seed);
+        let _ = writeln!(s, "  \"timeout_s\": {:?},", self.timeout_s);
+        s.push_str("  \"dma\": [");
+        for (i, f) in self.dma.iter().enumerate() {
+            let kind = match f.kind {
+                DmaFaultKind::Corrupt => "Corrupt",
+                DmaFaultKind::Timeout => "Timeout",
+            };
+            let _ = write!(
+                s,
+                "{}\n    {{ \"path\": \"{}\", \"nth\": {}, \"kind\": \"{}\" }}",
+                if i == 0 { "" } else { "," },
+                dma_path_name(f.path),
+                f.nth,
+                kind
+            );
+        }
+        s.push_str(if self.dma.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+        s.push_str("  \"mem\": [");
+        for (i, f) in self.mem.iter().enumerate() {
+            let target = match f.target {
+                MemTarget::Gsm => "{ \"kind\": \"Gsm\" }".to_string(),
+                MemTarget::Sm(c) => format!("{{ \"kind\": \"Sm\", \"core\": {c} }}"),
+                MemTarget::Am(c) => format!("{{ \"kind\": \"Am\", \"core\": {c} }}"),
+            };
+            let _ = write!(
+                s,
+                "{}\n    {{ \"target\": {target}, \"nth_read\": {} }}",
+                if i == 0 { "" } else { "," },
+                f.nth_read
+            );
+        }
+        s.push_str(if self.mem.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+        s.push_str("  \"cores\": [");
+        for (i, f) in self.cores.iter().enumerate() {
+            let _ = write!(
+                s,
+                "{}\n    {{ \"core\": {}, \"at_seconds\": {:?} }}",
+                if i == 0 { "" } else { "," },
+                f.core,
+                f.at_seconds
+            );
+        }
+        s.push_str(if self.cores.is_empty() {
+            "]\n"
+        } else {
+            "\n  ]\n"
+        });
+        s.push('}');
+        s
+    }
+
+    /// Parse a plan from JSON as produced by [`FaultPlan::to_json`] (or
+    /// written by hand).  Unknown keys are rejected so a typoed fixture
+    /// fails loudly instead of silently injecting nothing.
+    pub fn from_json(text: &str) -> Result<FaultPlan, String> {
+        let value = Parser::new(text).parse()?;
+        let obj = value.as_obj("plan")?;
+        let mut plan = FaultPlan::new(0);
+        for (key, v) in obj {
+            match key.as_str() {
+                "seed" => plan.seed = v.as_u64("seed")?,
+                "timeout_s" => plan.timeout_s = v.as_f64("timeout_s")?,
+                "dma" => {
+                    for item in v.as_arr("dma")? {
+                        plan.dma.push(parse_dma_fault(item)?);
+                    }
+                }
+                "mem" => {
+                    for item in v.as_arr("mem")? {
+                        plan.mem.push(parse_mem_fault(item)?);
+                    }
+                }
+                "cores" => {
+                    for item in v.as_arr("cores")? {
+                        plan.cores.push(parse_core_failure(item)?);
+                    }
+                }
+                other => return Err(format!("unknown plan key {other:?}")),
+            }
+        }
+        Ok(plan)
+    }
+}
+
+fn parse_dma_fault(v: &Value) -> Result<DmaFault, String> {
+    let obj = v.as_obj("dma fault")?;
+    let (mut path, mut nth, mut kind) = (None, None, None);
+    for (key, v) in obj {
+        match key.as_str() {
+            "path" => path = Some(dma_path_from_name(v.as_str("path")?)?),
+            "nth" => nth = Some(v.as_u64("nth")?),
+            "kind" => {
+                kind = Some(match v.as_str("kind")? {
+                    "Corrupt" => DmaFaultKind::Corrupt,
+                    "Timeout" => DmaFaultKind::Timeout,
+                    other => return Err(format!("unknown DMA fault kind {other:?}")),
+                })
+            }
+            other => return Err(format!("unknown dma fault key {other:?}")),
+        }
+    }
+    Ok(DmaFault {
+        path: path.ok_or("dma fault missing \"path\"")?,
+        nth: nth.ok_or("dma fault missing \"nth\"")?,
+        kind: kind.ok_or("dma fault missing \"kind\"")?,
+    })
+}
+
+fn parse_mem_fault(v: &Value) -> Result<MemFault, String> {
+    let obj = v.as_obj("mem fault")?;
+    let (mut target, mut nth_read) = (None, None);
+    for (key, v) in obj {
+        match key.as_str() {
+            "target" => {
+                let t = v.as_obj("target")?;
+                let (mut kind, mut core) = (None, None);
+                for (k, v) in t {
+                    match k.as_str() {
+                        "kind" => kind = Some(v.as_str("target.kind")?.to_string()),
+                        "core" => core = Some(v.as_u64("target.core")? as usize),
+                        other => return Err(format!("unknown target key {other:?}")),
+                    }
+                }
+                target = Some(match kind.as_deref() {
+                    Some("Gsm") => MemTarget::Gsm,
+                    Some("Sm") => MemTarget::Sm(core.ok_or("Sm target missing \"core\"")?),
+                    Some("Am") => MemTarget::Am(core.ok_or("Am target missing \"core\"")?),
+                    Some(other) => return Err(format!("unknown mem target {other:?}")),
+                    None => return Err("target missing \"kind\"".into()),
+                });
+            }
+            "nth_read" => nth_read = Some(v.as_u64("nth_read")?),
+            other => return Err(format!("unknown mem fault key {other:?}")),
+        }
+    }
+    Ok(MemFault {
+        target: target.ok_or("mem fault missing \"target\"")?,
+        nth_read: nth_read.ok_or("mem fault missing \"nth_read\"")?,
+    })
+}
+
+fn parse_core_failure(v: &Value) -> Result<CoreFailure, String> {
+    let obj = v.as_obj("core failure")?;
+    let (mut core, mut at) = (None, None);
+    for (key, v) in obj {
+        match key.as_str() {
+            "core" => core = Some(v.as_u64("core")? as usize),
+            "at_seconds" => at = Some(v.as_f64("at_seconds")?),
+            other => return Err(format!("unknown core failure key {other:?}")),
+        }
+    }
+    Ok(CoreFailure {
+        core: core.ok_or("core failure missing \"core\"")?,
+        at_seconds: at.ok_or("core failure missing \"at_seconds\"")?,
+    })
+}
+
+// ---------------------------------------------------------------- reading
+
+/// Parsed JSON value; numbers keep their source text so integer fields
+/// never take a lossy `f64` detour.
+enum Value {
+    Num(String),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    fn as_obj(&self, what: &str) -> Result<&[(String, Value)], String> {
+        match self {
+            Value::Obj(fields) => Ok(fields),
+            _ => Err(format!("{what}: expected an object")),
+        }
+    }
+
+    fn as_arr(&self, what: &str) -> Result<&[Value], String> {
+        match self {
+            Value::Arr(items) => Ok(items),
+            _ => Err(format!("{what}: expected an array")),
+        }
+    }
+
+    fn as_str(&self, what: &str) -> Result<&str, String> {
+        match self {
+            Value::Str(s) => Ok(s),
+            _ => Err(format!("{what}: expected a string")),
+        }
+    }
+
+    fn as_u64(&self, what: &str) -> Result<u64, String> {
+        match self {
+            Value::Num(s) => s
+                .parse::<u64>()
+                .map_err(|e| format!("{what}: bad integer {s:?} ({e})")),
+            _ => Err(format!("{what}: expected a number")),
+        }
+    }
+
+    fn as_f64(&self, what: &str) -> Result<f64, String> {
+        match self {
+            Value::Num(s) => s
+                .parse::<f64>()
+                .map_err(|e| format!("{what}: bad number {s:?} ({e})")),
+            _ => Err(format!("{what}: expected a number")),
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn parse(mut self) -> Result<Value, String> {
+        let v = self.value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(format!("trailing data at byte {}", self.pos));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", char::from(b), self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        self.skip_ws();
+        match self.bytes.get(self.pos) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => self.number(),
+            Some(c) => Err(format!(
+                "unexpected {:?} at byte {}",
+                char::from(*c),
+                self.pos
+            )),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => match self.bytes.get(self.pos + 1) {
+                    Some(c @ (b'"' | b'\\' | b'/')) => {
+                        out.push(char::from(*c));
+                        self.pos += 2;
+                    }
+                    _ => return Err(format!("unsupported escape at byte {}", self.pos)),
+                },
+                Some(&c) => {
+                    out.push(char::from(c));
+                    self.pos += 1;
+                }
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        while matches!(
+            self.bytes.get(self.pos),
+            Some(c) if c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E')
+        ) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(format!("expected a number at byte {start}"));
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number bytes are ASCII")
+            .to_string();
+        // Validate the token now so errors point at the source.
+        text.parse::<f64>()
+            .map_err(|e| format!("bad number {text:?} at byte {start} ({e})"))?;
+        Ok(Value::Num(text))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rich_plan() -> FaultPlan {
+        let mut p = FaultPlan::new(u64::MAX - 3)
+            .corrupt_dma(DmaPath::DdrToAm, 2)
+            .timeout_dma(DmaPath::GsmToSm, 7)
+            .flip_bit(MemTarget::Gsm, 3)
+            .flip_bit(MemTarget::Sm(1), 4)
+            .flip_bit(MemTarget::Am(6), 9)
+            .kill_core(5, 1.25e-3);
+        p.timeout_s = 2.5e-4;
+        p
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let plan = rich_plan();
+        let text = plan.to_json();
+        let back = FaultPlan::from_json(&text).unwrap();
+        assert_eq!(back, plan);
+        // Seeds beyond 2^53 survive (no f64 detour).
+        assert_eq!(back.seed, u64::MAX - 3);
+        // And the encoding itself is stable.
+        assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn empty_plan_round_trips() {
+        let plan = FaultPlan::new(0);
+        assert_eq!(FaultPlan::from_json(&plan.to_json()).unwrap(), plan);
+    }
+
+    #[test]
+    fn handwritten_fixture_parses() {
+        let text = r#"{
+            "seed": 11,
+            "dma": [ { "path": "DdrToAm", "nth": 2, "kind": "Corrupt" } ],
+            "mem": [ { "target": { "kind": "Sm", "core": 0 }, "nth_read": 1 } ]
+        }"#;
+        let plan = FaultPlan::from_json(text).unwrap();
+        assert_eq!(plan.seed, 11);
+        assert_eq!(plan.timeout_s, FaultPlan::new(0).timeout_s);
+        assert_eq!(plan.dma.len(), 1);
+        assert_eq!(plan.mem[0].target, MemTarget::Sm(0));
+    }
+
+    #[test]
+    fn bad_fixtures_fail_loudly() {
+        for (text, needle) in [
+            ("{ \"sed\": 1 }", "unknown plan key"),
+            ("{ \"seed\": 1 } trailing", "trailing data"),
+            (
+                "{ \"dma\": [ { \"path\": \"DdrToXm\", \"nth\": 1, \"kind\": \"Corrupt\" } ] }",
+                "unknown DMA path",
+            ),
+            (
+                "{ \"dma\": [ { \"path\": \"DdrToAm\", \"kind\": \"Corrupt\" } ] }",
+                "missing \"nth\"",
+            ),
+            ("{ \"seed\": -1 }", "bad integer"),
+            (
+                "{ \"mem\": [ { \"target\": { \"kind\": \"Sm\" }, \"nth_read\": 1 } ] }",
+                "missing \"core\"",
+            ),
+        ] {
+            let err = FaultPlan::from_json(text).unwrap_err();
+            assert!(err.contains(needle), "{text}: got {err:?}");
+        }
+    }
+}

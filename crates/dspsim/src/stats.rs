@@ -51,10 +51,17 @@ pub struct FaultStats {
     pub bit_flips: u64,
     /// Cores permanently lost during the run.
     pub cores_lost: u64,
+    /// Times the armed watchdog fired (hung-DMA detection or deadline
+    /// preemption; zero when no watchdog is armed).
+    pub watchdog_trips: u64,
     /// Recovery attempts performed (retries and degraded re-runs).
     pub retries: u64,
     /// Tiles recomputed during recovery.
     pub recomputed_tiles: u64,
+    /// `C` rows re-executed during recovery (checkpointed recovery
+    /// re-runs only unverified row spans, so this stays below the full
+    /// M dimension per retry).
+    pub rows_reexecuted: u64,
 }
 
 impl FaultStats {

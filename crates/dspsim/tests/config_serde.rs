@@ -1,7 +1,9 @@
 //! Configuration and report types are value types with serde support
 //! (they are embedded in experiment records and bench metadata).
 
-use dspsim::{CoreStats, Dma2d, DmaPath, ExecMode, FaultPlan, FaultStats, HwConfig, RunReport};
+use dspsim::{
+    CoreStats, Dma2d, DmaPath, ExecMode, FaultPlan, FaultStats, HwConfig, RunReport, WatchdogConfig,
+};
 
 /// Compile-time assertion that a type round-trips through serde.
 fn assert_serde<T: serde::Serialize + for<'de> serde::Deserialize<'de>>() {}
@@ -16,6 +18,7 @@ fn public_value_types_implement_serde() {
     assert_serde::<ExecMode>();
     assert_serde::<FaultPlan>();
     assert_serde::<FaultStats>();
+    assert_serde::<WatchdogConfig>();
 }
 
 #[test]

@@ -11,8 +11,8 @@
 use dspsim::{DmaPath, ExecMode, FaultPlan, HwConfig, Machine, MemTarget, RunReport, SimError};
 use ftimm::reference::{assert_close, fill_matrix, sgemm_f64};
 use ftimm::{
-    run_resilient, ChosenStrategy, FtImm, FtimmError, GemmProblem, GemmShape, ResilienceConfig,
-    Strategy,
+    run_resilient, ChosenStrategy, EngineConfig, FtImm, FtimmError, GemmProblem, GemmShape, Job,
+    JobOutcome, JobQueue, ResilienceConfig, Strategy,
 };
 
 const M: usize = 64;
@@ -199,6 +199,96 @@ fn exhausted_retry_budget_reports_corruption() {
         matches!(err, FtimmError::Sim(SimError::DataCorrupt { .. })),
         "got {err}"
     );
+}
+
+#[test]
+fn deadline_preemption_is_reported_at_a_reproducible_instant() {
+    let (plain, _, _) = baseline(Strategy::MPar);
+    // Half the fault-free runtime: the watchdog must preempt mid-run.
+    let deadline = plain.seconds * 0.5;
+    let trip = || {
+        let ft = FtImm::new(HwConfig::default());
+        let mut m = Machine::with_mode(ExecMode::Fast);
+        let p = upload_problem(&mut m);
+        let cfg = EngineConfig {
+            resilience: ResilienceConfig {
+                ckpt_rows: 16,
+                ..ResilienceConfig::default()
+            },
+            ..EngineConfig::default()
+        };
+        let mut q = JobQueue::new(cfg);
+        q.submit(Job::gemm(p, Strategy::MPar, CORES).with_deadline(deadline));
+        let recs = q.run_all(&ft, &mut m);
+        match &recs[0].outcome {
+            JobOutcome::DeadlineExceeded {
+                at,
+                rows_verified,
+                rows_total,
+            } => (*at, *rows_verified, *rows_total),
+            o => panic!("expected deadline preemption, got {o:?}"),
+        }
+    };
+    let (at1, rows1, total1) = trip();
+    let (at2, rows2, total2) = trip();
+    assert!(at1 >= deadline, "tripped before the deadline: {at1}");
+    assert_eq!(total1, M);
+    assert!(
+        rows1 < M,
+        "a job preempted at half time cannot have verified every row"
+    );
+    // Deterministic simulator: the trip instant and checkpoint progress
+    // reproduce bit-for-bit.
+    assert_eq!(at1.to_bits(), at2.to_bits());
+    assert_eq!(rows1, rows2);
+    assert_eq!(total1, total2);
+}
+
+#[test]
+fn checkpointed_recovery_reexecutes_strictly_fewer_rows_bit_exactly() {
+    let (_, c_plain, _) = baseline(Strategy::MPar);
+    // The same mid-run DMA hang, recovered once without checkpoints
+    // (whole-problem restart) and once with 16-row spans.
+    let faults = FaultPlan::new(37).timeout_dma(DmaPath::DdrToSm, 2);
+    let (full, c_full) = chaotic(Strategy::MPar, &faults, &ResilienceConfig::default()).unwrap();
+    let (ckpt, c_ckpt) = chaotic(
+        Strategy::MPar,
+        &faults,
+        &ResilienceConfig {
+            ckpt_rows: 16,
+            ..ResilienceConfig::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(full.faults.dma_timeouts, 1);
+    assert_eq!(ckpt.faults.dma_timeouts, 1);
+    // Whole-problem restart re-executes every row; the checkpointed run
+    // only the faulted 16-row span.
+    assert_eq!(full.faults.rows_reexecuted, M as u64);
+    assert_eq!(ckpt.faults.rows_reexecuted, 16);
+    assert!(ckpt.faults.rows_reexecuted < full.faults.rows_reexecuted);
+    // Both recoveries are bit-exact against the fault-free run.
+    assert_bits_eq(&c_plain, &c_full);
+    assert_bits_eq(&c_plain, &c_ckpt);
+}
+
+#[test]
+fn fault_plans_load_from_json_fixtures() {
+    let plan = FaultPlan::from_json(include_str!("fixtures/dma_timeout.json")).unwrap();
+    assert_eq!(plan.seed, 13);
+    // The fixture reproduces the inline dma-timeout scenario exactly.
+    let (_, c_plain, _) = baseline(Strategy::MPar);
+    let (rep, c) = chaotic(Strategy::MPar, &plan, &ResilienceConfig::default()).unwrap();
+    assert_eq!(rep.faults.dma_timeouts, 1);
+    assert!(rep.faults.retries >= 1);
+    assert_bits_eq(&c_plain, &c);
+    // And survives a serialisation round trip unchanged.
+    assert_eq!(FaultPlan::from_json(&plan.to_json()).unwrap(), plan);
+
+    let mixed = FaultPlan::from_json(include_str!("fixtures/mixed_chaos.json")).unwrap();
+    let (rep, c) = chaotic(Strategy::MPar, &mixed, &ResilienceConfig::default()).unwrap();
+    assert!(rep.faults.injected() >= 1, "fixture plan never fired");
+    assert_close(M, N, &c, &oracle(), 1e-4);
 }
 
 /// Deterministic per-seed fault plan mixing all three fault classes.
