@@ -1,0 +1,207 @@
+//! Profile one GEMM through the instrumented executor: print the
+//! per-phase breakdown and optionally export the JSON profile document
+//! and a Chrome `trace_event` file.
+//!
+//! Usage:
+//! `cargo run --release -p ftimm-bench --bin profile -- [options] M N K`
+//!
+//! Options:
+//! * `--strategy auto|rules|mpar|kpar|tgemm` (default `auto`)
+//! * `--cores N` (default 8)
+//! * `--mode interpret|fast|timing` (default `fast`)
+//! * `--out-profile FILE` — write the profile JSON document
+//! * `--out-trace FILE` — write a Chrome trace (`chrome://tracing`)
+//! * `--assert-roofline FRAC` — exit nonzero unless achieved GFLOPS
+//!   reaches `FRAC` of the roofline prediction (CI smoke gate)
+
+use dspsim::{ExecMode, Machine, Phase, PhaseProfile};
+use ftimm::{chrome_trace_json, profile_json, Executor, FtImm, GemmProblem, Strategy};
+
+struct Args {
+    m: usize,
+    n: usize,
+    k: usize,
+    strategy: Strategy,
+    cores: usize,
+    mode: ExecMode,
+    out_profile: Option<String>,
+    out_trace: Option<String>,
+    assert_roofline: Option<f64>,
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut dims: Vec<usize> = Vec::new();
+    let mut args = Args {
+        m: 0,
+        n: 0,
+        k: 0,
+        strategy: Strategy::Auto,
+        cores: 8,
+        mode: ExecMode::Fast,
+        out_profile: None,
+        out_trace: None,
+        assert_roofline: None,
+    };
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        let mut next = |what: &str| {
+            it.next()
+                .cloned()
+                .unwrap_or_else(|| die(&format!("{what} needs a value")))
+        };
+        match a.as_str() {
+            "--strategy" => {
+                args.strategy = match next("--strategy").as_str() {
+                    "auto" => Strategy::Auto,
+                    "rules" => Strategy::Rules,
+                    "mpar" => Strategy::MPar,
+                    "kpar" => Strategy::KPar,
+                    "tgemm" => Strategy::TGemm,
+                    other => die(&format!("unknown strategy `{other}`")),
+                }
+            }
+            "--cores" => {
+                args.cores = next("--cores")
+                    .parse()
+                    .unwrap_or_else(|_| die("--cores needs a number"))
+            }
+            "--mode" => {
+                args.mode = match next("--mode").as_str() {
+                    "interpret" => ExecMode::Interpret,
+                    "fast" => ExecMode::Fast,
+                    "timing" => ExecMode::Timing,
+                    other => die(&format!("unknown mode `{other}`")),
+                }
+            }
+            "--out-profile" => args.out_profile = Some(next("--out-profile")),
+            "--out-trace" => args.out_trace = Some(next("--out-trace")),
+            "--assert-roofline" => {
+                args.assert_roofline = Some(
+                    next("--assert-roofline")
+                        .parse()
+                        .unwrap_or_else(|_| die("--assert-roofline needs a fraction")),
+                )
+            }
+            _ => match a.parse::<usize>() {
+                Ok(v) => dims.push(v),
+                Err(_) => die(&format!("unrecognised argument `{a}`")),
+            },
+        }
+    }
+    if dims.len() != 3 {
+        die("exactly one M N K triple is required");
+    }
+    (args.m, args.n, args.k) = (dims[0], dims[1], dims[2]);
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let ft = FtImm::new(dspsim::HwConfig::default());
+    let mut machine = Machine::new(ft.cfg().clone(), args.mode);
+    let p = GemmProblem::alloc(&mut machine, args.m, args.n, args.k)
+        .unwrap_or_else(|e| die(&format!("allocation failed: {e}")));
+    if machine.mode.is_functional() {
+        let fill = ftimm::reference::fill_matrix;
+        p.a.upload(&mut machine, &fill(args.m * args.k, 1)).unwrap();
+        p.b.upload(&mut machine, &fill(args.k * args.n, 2)).unwrap();
+        p.c.upload(&mut machine, &vec![0.0; args.m * args.n])
+            .unwrap();
+    }
+
+    let run = Executor::new(&ft)
+        .strategy(args.strategy)
+        .cores(args.cores)
+        .profiled()
+        .dispatch(&mut machine, &p)
+        .unwrap_or_else(|e| die(&format!("dispatch rejected: {e}")));
+    let report = match &run.result {
+        Ok(r) => r,
+        Err(e) => die(&format!("run failed: {e}")),
+    };
+    let prof = report.profile.expect("profiled run carries a profile");
+
+    println!(
+        "{}x{}x{}  plan={:?}  cores={}  mode={:?}",
+        args.m, args.n, args.k, run.plan, report.cores_used, args.mode
+    );
+    print_phase_table(&prof);
+
+    if let Some(path) = &args.out_profile {
+        std::fs::write(path, profile_json(&prof))
+            .unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
+        println!("profile written to {path}");
+    }
+    if let Some(path) = &args.out_trace {
+        let profiler = run.profiler.as_ref().expect("profiled run keeps spans");
+        std::fs::write(path, chrome_trace_json(profiler))
+            .unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
+        println!("trace written to {path} (load in chrome://tracing)");
+    }
+
+    if let Some(frac) = args.assert_roofline {
+        let bound = frac * prof.roofline_gflops;
+        if prof.achieved_gflops < bound {
+            eprintln!(
+                "roofline check FAILED: achieved {:.1} GFLOPS < {frac} x roofline {:.1} GFLOPS",
+                prof.achieved_gflops, prof.roofline_gflops
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "roofline check OK: achieved {:.1} GFLOPS >= {frac} x roofline {:.1} GFLOPS",
+            prof.achieved_gflops, prof.roofline_gflops
+        );
+    }
+}
+
+fn print_phase_table(prof: &PhaseProfile) {
+    println!("{:>12} {:>14} {:>8}", "phase", "seconds", "share");
+    for phase in Phase::ALL {
+        let s = prof.phase_seconds(phase);
+        if s <= 0.0 {
+            continue;
+        }
+        println!(
+            "{:>12} {:>14.6e} {:>7.1}%",
+            phase.name(),
+            s,
+            100.0 * s / prof.total_s
+        );
+    }
+    println!(
+        "{:>12} {:>14.6e} {:>7.1}%",
+        "idle",
+        prof.total_s - prof.busy_s(),
+        100.0 * (prof.total_s - prof.busy_s()) / prof.total_s
+    );
+    println!("{:>12} {:>14.6e}", "total", prof.total_s);
+    println!(
+        "dma/compute overlap: {:.1}% of the window ({} spans, {} events, {} dropped)",
+        100.0 * prof.overlap_frac(),
+        prof.spans,
+        prof.events,
+        prof.dropped
+    );
+    let occ: Vec<String> = (0..dspsim::PROFILE_CORES)
+        .map(|c| format!("{:.0}%", 100.0 * prof.occupancy(c)))
+        .collect();
+    println!("core occupancy: [{}]", occ.join(" "));
+    println!(
+        "roofline {:.1} GFLOPS, achieved {:.1} GFLOPS ({:.1}% of bound)",
+        prof.roofline_gflops,
+        prof.achieved_gflops,
+        100.0 * prof.achieved_gflops / prof.roofline_gflops
+    );
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: profile [--strategy auto|rules|mpar|kpar|tgemm] [--cores N] \
+         [--mode interpret|fast|timing] [--out-profile FILE] [--out-trace FILE] \
+         [--assert-roofline FRAC] M N K"
+    );
+    std::process::exit(2);
+}

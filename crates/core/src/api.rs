@@ -1,9 +1,6 @@
 //! The public ftIMM entry point.
 
-use crate::{
-    adjust, resilience, run_kpar, run_mpar, run_tgemm, ChosenStrategy, FtimmError, GemmProblem,
-    GemmShape, TgemmParams,
-};
+use crate::{adjust, resilience, ChosenStrategy, Executor, FtimmError, GemmProblem, GemmShape};
 use dspsim::{ExecMode, HwConfig, Machine, RunReport, SimError};
 use kernelgen::KernelCache;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -147,12 +144,7 @@ impl FtImm {
         plan: &ChosenStrategy,
         cores: usize,
     ) -> Result<RunReport, FtimmError> {
-        p.validate().map_err(FtimmError::Invalid)?;
-        match plan {
-            ChosenStrategy::MPar(bl) => run_mpar(m, &self.cache, p, bl, cores),
-            ChosenStrategy::KPar(bl) => run_kpar(m, &self.cache, p, bl, cores),
-            ChosenStrategy::TGemm => run_tgemm(m, &self.cache, p, &TgemmParams::default(), cores),
-        }
+        Executor::new(self).with_plan(*plan).cores(cores).run(m, p)
     }
 
     /// Execute a resolved plan under the resilience layer: ABFT-checked,
@@ -169,7 +161,11 @@ impl FtImm {
         cores: usize,
         rcfg: &resilience::ResilienceConfig,
     ) -> Result<RunReport, FtimmError> {
-        resilience::run_resilient(self, m, p, plan, cores, rcfg)
+        Executor::new(self)
+            .with_plan(*plan)
+            .cores(cores)
+            .resilient(*rcfg)
+            .run(m, p)
     }
 
     /// Plan and execute resiliently in one call (the fault-tolerant
@@ -182,11 +178,12 @@ impl FtImm {
         cores: usize,
         rcfg: &resilience::ResilienceConfig,
     ) -> Result<(RunReport, ChosenStrategy), FtimmError> {
-        p.validate().map_err(FtimmError::Invalid)?;
-        let shape = GemmShape::new(p.m(), p.n(), p.k());
-        let plan = self.plan(&shape, strategy, cores);
-        let report = resilience::run_resilient(self, m, p, &plan, cores, rcfg)?;
-        Ok((report, plan))
+        let run = Executor::new(self)
+            .strategy(strategy)
+            .cores(cores)
+            .resilient(*rcfg)
+            .dispatch(m, p)?;
+        Ok((run.result?, run.plan))
     }
 
     /// `C += A × B`: plan and execute in one call.  Returns the run
@@ -198,11 +195,11 @@ impl FtImm {
         strategy: Strategy,
         cores: usize,
     ) -> Result<(RunReport, ChosenStrategy), FtimmError> {
-        p.validate().map_err(FtimmError::Invalid)?;
-        let shape = GemmShape::new(p.m(), p.n(), p.k());
-        let plan = self.plan(&shape, strategy, cores);
-        let report = self.run_plan(m, p, &plan, cores)?;
-        Ok((report, plan))
+        let run = Executor::new(self)
+            .strategy(strategy)
+            .cores(cores)
+            .dispatch(m, p)?;
+        Ok((run.result?, run.plan))
     }
 
     /// Run TGEMM (the baseline) regardless of shape.
@@ -212,8 +209,10 @@ impl FtImm {
         p: &GemmProblem,
         cores: usize,
     ) -> Result<RunReport, FtimmError> {
-        p.validate().map_err(FtimmError::Invalid)?;
-        run_tgemm(m, &self.cache, p, &TgemmParams::default(), cores)
+        Executor::new(self)
+            .with_plan(ChosenStrategy::TGemm)
+            .cores(cores)
+            .run(m, p)
     }
 }
 

@@ -6,7 +6,10 @@
 //! algebraically one tall-and-skinny GEMM; this module provides the
 //! batch-shaped API, plans it once, and reports per-element statistics.
 
-use crate::{resilience::ResilienceConfig, FtImm, FtimmError, GemmProblem, GemmShape, Strategy};
+use crate::exec::validate_batch_dims;
+use crate::{
+    resilience::ResilienceConfig, Executor, FtImm, FtimmError, GemmProblem, GemmShape, Strategy,
+};
 use dspsim::{FaultStats, Machine, RunReport};
 
 /// A planned batch of `count` GEMMs of `rows × cols × inner` against a
@@ -39,15 +42,7 @@ pub struct BatchReport {
 impl GemmBatch {
     /// Construct and validate a batch descriptor.
     pub fn new(count: usize, rows: usize, inner: usize, cols: usize) -> Result<Self, FtimmError> {
-        if count == 0 || rows == 0 || inner == 0 || cols == 0 {
-            return Err(FtimmError::Invalid("empty batch dimension".into()));
-        }
-        if cols > kernelgen::MAX_NA {
-            return Err(FtimmError::Invalid(format!(
-                "batch cols {cols} exceed the irregular-GEMM limit {}",
-                kernelgen::MAX_NA
-            )));
-        }
+        validate_batch_dims(count, rows, inner, cols)?;
         Ok(GemmBatch {
             count,
             rows,
@@ -114,7 +109,10 @@ impl GemmBatch {
         cores: usize,
     ) -> Result<BatchReport, FtimmError> {
         let p = self.stage(machine, elements, operator, out)?;
-        let (run, _plan) = ft.gemm(machine, &p, strategy, cores)?;
+        let run = Executor::new(ft)
+            .strategy(strategy)
+            .cores(cores)
+            .run(machine, &p)?;
         self.finish(machine, &p, run, out)
     }
 
@@ -134,7 +132,11 @@ impl GemmBatch {
         rcfg: &ResilienceConfig,
     ) -> Result<BatchReport, FtimmError> {
         let p = self.stage(machine, elements, operator, out)?;
-        let (run, _plan) = ft.gemm_resilient(machine, &p, strategy, cores, rcfg)?;
+        let run = Executor::new(ft)
+            .strategy(strategy)
+            .cores(cores)
+            .resilient(*rcfg)
+            .run(machine, &p)?;
         self.finish(machine, &p, run, out)
     }
 }

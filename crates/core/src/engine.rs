@@ -28,11 +28,12 @@
 //! which jobs trip deadlines, when breakers open and close — is exactly
 //! reproducible for a given job sequence and fault plan.
 
-use crate::resilience::{run_resilient_full, ResilienceConfig};
+use crate::resilience::ResilienceConfig;
 use crate::{
-    BatchReport, ChosenStrategy, FtImm, FtimmError, GemmBatch, GemmProblem, GemmShape, Strategy,
+    BatchReport, ChosenStrategy, Executor, FtImm, FtimmError, GemmBatch, GemmProblem, GemmShape,
+    Strategy,
 };
-use dspsim::{Machine, RunReport, WatchdogConfig};
+use dspsim::{Machine, RunReport};
 
 /// Engine tuning knobs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -446,22 +447,21 @@ impl JobQueue {
                 }
             };
 
-            // Arm the watchdog for the job's budget on the simulated clock.
-            let armed = job.deadline_s.is_some() || self.cfg.dma_budget_s.is_finite();
-            if armed {
-                let deadline = job.deadline_s.map_or(f64::INFINITY, |d| m.elapsed() + d);
-                m.arm_watchdog(WatchdogConfig {
-                    deadline_s: deadline,
-                    dma_budget_s: self.cfg.dma_budget_s,
-                });
-            }
-            let cores = job.cores.clamp(1, map.len());
-            let shape = GemmShape::new(p.m(), p.n(), p.k());
-            let plan = ft.plan(&shape, job.strategy, cores);
-            let run = run_resilient_full(ft, m, &p, &plan, cores, &self.cfg.resilience);
-            if armed {
-                m.disarm_watchdog();
-            }
+            // Plan and run this attempt through the shared executor: it
+            // arms the watchdog for the job's budget, resolves the plan
+            // and drives the resilient run.
+            let run = match Executor::new(ft)
+                .strategy(job.strategy)
+                .cores(job.cores.clamp(1, map.len()))
+                .resilient(self.cfg.resilience)
+                .with_deadline(job.deadline_s)
+                .dma_budget(self.cfg.dma_budget_s)
+                .dispatch(m, &p)
+            {
+                Ok(run) => run,
+                Err(error) => return (JobOutcome::Failed { error }, map),
+            };
+            let plan = run.plan;
 
             // Feed the breakers: implicated cores fault, the rest of the
             // map succeeded.  Breaker timestamps use the *healthy* cores'

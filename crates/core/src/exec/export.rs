@@ -1,0 +1,261 @@
+//! Profile exporters: a self-contained JSON profile document and a
+//! Chrome `trace_event` file loadable in `chrome://tracing` / Perfetto.
+//!
+//! Both are hand-written against [`dspsim::minijson`] (the workspace
+//! builds offline with a marker-only serde stub), and the profile
+//! document round-trips exactly: `{:?}`-formatted `f64` fields use
+//! Rust's shortest round-trip representation.
+
+use dspsim::minijson::{quote, Parser};
+use dspsim::{EventKind, Phase, PhaseProfile, Profiler, PHASE_COUNT, PROFILE_CORES};
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// Document identifier embedded in (and required from) profile JSON.
+const PROFILE_SCHEMA: &str = "ftimm-profile-v1";
+
+/// Serialise a [`PhaseProfile`] as a self-contained pretty-printed JSON
+/// document (stable field order; exact `f64` round-trip).
+pub fn profile_json(prof: &PhaseProfile) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema\": {},", quote(PROFILE_SCHEMA));
+    let _ = writeln!(s, "  \"total_s\": {:?},", prof.total_s);
+    s.push_str("  \"phase_s\": {\n");
+    for (i, p) in Phase::ALL.into_iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {}: {:?}{}",
+            quote(p.name()),
+            prof.phase_seconds(p),
+            if i + 1 == PHASE_COUNT { "" } else { "," }
+        );
+    }
+    s.push_str("  },\n");
+    s.push_str("  \"core_busy_s\": [");
+    for (i, b) in prof.core_busy_s.iter().enumerate() {
+        let _ = write!(s, "{}{:?}", if i == 0 { "" } else { ", " }, b);
+    }
+    s.push_str("],\n");
+    let _ = writeln!(s, "  \"overlap_s\": {:?},", prof.overlap_s);
+    let _ = writeln!(s, "  \"overlap_frac\": {:?},", prof.overlap_frac());
+    let _ = writeln!(s, "  \"roofline_gflops\": {:?},", prof.roofline_gflops);
+    let _ = writeln!(s, "  \"achieved_gflops\": {:?},", prof.achieved_gflops);
+    let _ = writeln!(s, "  \"spans\": {},", prof.spans);
+    let _ = writeln!(s, "  \"events\": {},", prof.events);
+    let _ = writeln!(s, "  \"dropped\": {}", prof.dropped);
+    s.push('}');
+    s
+}
+
+/// Parse a profile document produced by [`profile_json`].  Unknown keys
+/// are rejected so a typoed document fails loudly.
+pub fn profile_from_json(text: &str) -> Result<PhaseProfile, String> {
+    let value = Parser::new(text).parse()?;
+    let obj = value.as_obj("profile")?;
+    let mut prof = PhaseProfile::default();
+    let mut schema_seen = false;
+    for (key, v) in obj {
+        match key.as_str() {
+            "schema" => {
+                let s = v.as_str("schema")?;
+                if s != PROFILE_SCHEMA {
+                    return Err(format!("unsupported profile schema {s:?}"));
+                }
+                schema_seen = true;
+            }
+            "total_s" => prof.total_s = v.as_f64("total_s")?,
+            "phase_s" => {
+                for (name, sec) in v.as_obj("phase_s")? {
+                    let phase = Phase::from_name(name)?;
+                    prof.phase_s[phase.index()] = sec.as_f64(name)?;
+                }
+            }
+            "core_busy_s" => {
+                let items = v.as_arr("core_busy_s")?;
+                if items.len() != PROFILE_CORES {
+                    return Err(format!(
+                        "core_busy_s has {} entries, expected {PROFILE_CORES}",
+                        items.len()
+                    ));
+                }
+                for (i, item) in items.iter().enumerate() {
+                    prof.core_busy_s[i] = item.as_f64("core_busy_s")?;
+                }
+            }
+            "overlap_s" => prof.overlap_s = v.as_f64("overlap_s")?,
+            // Derived from overlap_s / total_s; accepted and recomputed.
+            "overlap_frac" => {
+                v.as_f64("overlap_frac")?;
+            }
+            "roofline_gflops" => prof.roofline_gflops = v.as_f64("roofline_gflops")?,
+            "achieved_gflops" => prof.achieved_gflops = v.as_f64("achieved_gflops")?,
+            "spans" => prof.spans = v.as_u64("spans")?,
+            "events" => prof.events = v.as_u64("events")?,
+            "dropped" => prof.dropped = v.as_u64("dropped")?,
+            other => return Err(format!("unknown profile key {other:?}")),
+        }
+    }
+    if !schema_seen {
+        return Err("profile missing \"schema\"".into());
+    }
+    Ok(prof)
+}
+
+/// The trace thread a span or event renders on: each physical core gets
+/// a compute track (`2·core`) and a DMA-engine track (`2·core + 1`).
+fn span_tid(phase: Phase, core: usize) -> usize {
+    if phase.is_data_movement() {
+        2 * core + 1
+    } else {
+        2 * core
+    }
+}
+
+fn event_tid(kind: EventKind, core: Option<usize>) -> usize {
+    let Some(c) = core else { return 0 };
+    match kind {
+        EventKind::DmaCorrupt | EventKind::DmaTimeout | EventKind::WatchdogDma => 2 * c + 1,
+        _ => 2 * c,
+    }
+}
+
+/// Serialise a raw span/event recording as a Chrome `trace_event` JSON
+/// document (timestamps in microseconds of *simulated* time), loadable
+/// in `chrome://tracing` or Perfetto.
+pub fn chrome_trace_json(profiler: &Profiler) -> String {
+    let mut tids: BTreeSet<usize> = BTreeSet::new();
+    for s in profiler.spans() {
+        tids.insert(span_tid(s.phase, s.core));
+    }
+    for e in profiler.events() {
+        tids.insert(event_tid(e.kind, e.core));
+    }
+
+    let mut s = String::new();
+    s.push_str("{\"traceEvents\":[\n");
+    let _ = write!(
+        s,
+        "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\
+         \"args\":{{\"name\":\"ftimm dspsim cluster\"}}}}"
+    );
+    for &tid in &tids {
+        let side = if tid % 2 == 0 { "compute" } else { "dma" };
+        let _ = write!(
+            s,
+            ",\n{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\
+             \"args\":{{\"name\":\"core{} {side}\"}}}}",
+            tid / 2
+        );
+    }
+    for sp in profiler.spans() {
+        let _ = write!(
+            s,
+            ",\n{{\"name\":{},\"cat\":\"phase\",\"ph\":\"X\",\"ts\":{:?},\"dur\":{:?},\
+             \"pid\":0,\"tid\":{}}}",
+            quote(sp.phase.name()),
+            sp.t0 * 1e6,
+            (sp.t1 - sp.t0) * 1e6,
+            span_tid(sp.phase, sp.core)
+        );
+    }
+    for e in profiler.events() {
+        let _ = write!(
+            s,
+            ",\n{{\"name\":{},\"cat\":\"fault\",\"ph\":\"i\",\"ts\":{:?},\"s\":\"p\",\
+             \"pid\":0,\"tid\":{}}}",
+            quote(e.kind.name()),
+            e.t * 1e6,
+            event_tid(e.kind, e.core)
+        );
+    }
+    s.push_str("\n],\"displayTimeUnit\":\"ms\"}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dspsim::Span;
+
+    fn sample_profile() -> PhaseProfile {
+        let mut p = Profiler::enabled(64);
+        p.record(Span {
+            phase: Phase::DmaLoad,
+            core: 0,
+            t0: 0.0,
+            t1: 2e-6,
+        });
+        p.record(Span {
+            phase: Phase::Compute,
+            core: 1,
+            t0: 1e-6,
+            t1: 3e-6,
+        });
+        p.event(EventKind::Retry, Some(1), 2.5e-6);
+        let mut prof = p.aggregate();
+        prof.roofline_gflops = 345.6;
+        prof.achieved_gflops = 123.456789;
+        prof
+    }
+
+    #[test]
+    fn profile_json_round_trips_exactly() {
+        let prof = sample_profile();
+        let text = profile_json(&prof);
+        let back = profile_from_json(&text).unwrap();
+        assert_eq!(back, prof);
+    }
+
+    #[test]
+    fn bad_profile_documents_fail_loudly() {
+        let prof = sample_profile();
+        let good = profile_json(&prof);
+        for (text, needle) in [
+            (good.replace("total_s", "tolal_s"), "unknown profile key"),
+            (good.replace("dma_load", "dma_lode"), "unknown phase"),
+            (
+                good.replace(PROFILE_SCHEMA, "ftimm-profile-v9"),
+                "unsupported profile schema",
+            ),
+            ("{}".to_string(), "missing \"schema\""),
+        ] {
+            let err = profile_from_json(&text).unwrap_err();
+            assert!(err.contains(needle), "wanted {needle:?}, got {err:?}");
+        }
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_named_tracks() {
+        let mut p = Profiler::enabled(64);
+        p.record(Span {
+            phase: Phase::Compute,
+            core: 2,
+            t0: 0.0,
+            t1: 1e-6,
+        });
+        p.record(Span {
+            phase: Phase::DmaStore,
+            core: 2,
+            t0: 1e-6,
+            t1: 2e-6,
+        });
+        p.event(EventKind::DmaTimeout, Some(2), 1.5e-6);
+        let text = chrome_trace_json(&p);
+        let v = Parser::new(&text).parse().unwrap();
+        let events = v.get("traceEvents").unwrap().as_arr("traceEvents").unwrap();
+        // process_name + two thread_names + two spans + one instant.
+        assert_eq!(events.len(), 6);
+        let phases: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("ph").is_some())
+            .map(|e| e.get("ph").unwrap().as_str("ph").unwrap())
+            .collect();
+        assert_eq!(phases, ["M", "M", "M", "X", "X", "i"]);
+        // Compute rides the even track, the store its odd DMA sibling.
+        assert_eq!(events[3].get("tid").unwrap().as_u64("tid").unwrap(), 4);
+        assert_eq!(events[4].get("tid").unwrap().as_u64("tid").unwrap(), 5);
+        let dur = events[3].get("dur").unwrap().as_f64("dur").unwrap();
+        assert!((dur - 1.0).abs() < 1e-9, "1 µs span, got {dur}");
+    }
+}

@@ -1,0 +1,20 @@
+//! Profile finishing: fold the raw span recording into a
+//! [`PhaseProfile`] and fill the model-level fields (roofline prediction,
+//! achieved rate) only the executor knows.
+
+use crate::{roofline, GemmShape};
+use dspsim::{HwConfig, PhaseProfile, Profiler, RunReport};
+
+/// Aggregate `profiler`'s spans and complete the profile with the
+/// roofline-predicted and achieved GFLOPS of the finished run.
+pub(crate) fn finish(
+    cfg: &HwConfig,
+    shape: &GemmShape,
+    profiler: &Profiler,
+    rep: &RunReport,
+) -> PhaseProfile {
+    let mut prof = profiler.aggregate();
+    prof.roofline_gflops = roofline::roofline_gflops(cfg, shape, rep.cores_used);
+    prof.achieved_gflops = rep.gflops();
+    prof
+}

@@ -5,7 +5,7 @@
 //! price of a multi-core reduction.
 
 use crate::{invoke_kernel, FtimmError, GemmProblem};
-use dspsim::{transfer_time, Dma2d, DmaPath, DmaTicket, KernelBindings, Machine, RunReport};
+use dspsim::{transfer_time, Dma2d, DmaPath, DmaTicket, KernelBindings, Machine, Phase, RunReport};
 use kernelgen::{KernelCache, KernelSpec};
 use serde::{Deserialize, Serialize};
 
@@ -34,7 +34,7 @@ pub fn run_kpar(
     bl: &KparBlocks,
     cores: usize,
 ) -> Result<RunReport, FtimmError> {
-    p.validate().map_err(FtimmError::Invalid)?;
+    crate::exec::validate_problem(p)?;
     let (mm, nn, kk) = (p.m(), p.n(), p.k());
     let cores = cores.clamp(1, m.alive_cores().min(m.cfg.cores_per_cluster));
 
@@ -187,6 +187,7 @@ pub fn run_kpar(
                         }
                         let start = m.core_time(core).max(prev_end);
                         prev_end = start + red_dur;
+                        m.record_span(core, Phase::Reduction, start, prev_end);
                         let cr = m.core_mut(core);
                         cr.t_compute = prev_end;
                         cr.stats.gsm_bytes += 2 * bytes;

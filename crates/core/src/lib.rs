@@ -13,7 +13,9 @@
 //! * [`adjust`]: dynamic adjusting — CMR-driven block sizes (Eq. 1–4) and
 //!   strategy selection;
 //! * [`roofline`]: the roofline bound used in the paper's Fig 5;
-//! * [`api::FtImm`]: the user-facing entry point.
+//! * [`api::FtImm`]: the user-facing entry point;
+//! * [`exec::Executor`]: the unified execution pipeline every entry
+//!   point routes through, with optional phase-level profiling.
 //!
 //! ```
 //! use dspsim::{ExecMode, Machine};
@@ -39,6 +41,7 @@ pub mod api;
 pub mod batch;
 pub mod engine;
 pub mod error;
+pub mod exec;
 pub mod grid;
 pub mod invoke;
 pub mod kpar;
@@ -58,6 +61,10 @@ pub use api::{FtImm, Strategy};
 pub use batch::{BatchReport, GemmBatch};
 pub use engine::{BreakerState, EngineConfig, Job, JobId, JobOutcome, JobQueue, JobRecord};
 pub use error::FtimmError;
+pub use exec::{
+    chrome_trace_json, profile_from_json, profile_json, validate_batch_dims, validate_problem,
+    ExecOptions, ExecRun, Executor,
+};
 pub use grid::{ClusterGrid, GridReport};
 pub use invoke::invoke_kernel;
 pub use kpar::{run_kpar, KparBlocks};

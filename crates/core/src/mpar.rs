@@ -34,7 +34,7 @@ pub fn run_mpar(
     bl: &MparBlocks,
     cores: usize,
 ) -> Result<RunReport, FtimmError> {
-    p.validate().map_err(FtimmError::Invalid)?;
+    crate::exec::validate_problem(p)?;
     let (mm, nn, kk) = (p.m(), p.n(), p.k());
     let cores = cores.clamp(1, m.alive_cores().min(m.cfg.cores_per_cluster));
 

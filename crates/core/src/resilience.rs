@@ -42,8 +42,9 @@
 //! time and no stat perturbation: the run report is bit-identical to an
 //! unwrapped run.
 
+use crate::exec::validate_problem;
 use crate::{ChosenStrategy, DdrMatrix, FtImm, FtimmError, GemmProblem};
-use dspsim::{Machine, RunReport, SimError};
+use dspsim::{EventKind, Machine, RunReport, SimError};
 
 /// Tuning knobs for the recovery loop.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -300,6 +301,7 @@ impl Recovery {
         self.attempt += 1;
         self.retries += 1;
         self.recomputed += 1;
+        m.record_event(EventKind::Retry, e.implicated_core(), m.elapsed());
         backoff(m, cx.cores, cx.rcfg, self.attempt);
         Ok(())
     }
@@ -360,7 +362,7 @@ fn run_spans(
     p: &GemmProblem,
     rec: &mut Recovery,
 ) -> Result<RunReport, FtimmError> {
-    p.validate().map_err(FtimmError::Invalid)?;
+    validate_problem(p)?;
     let abft = if m.mode.is_functional() {
         Some(AbftRef::capture(m, p)?)
     } else {

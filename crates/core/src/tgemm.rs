@@ -41,7 +41,7 @@ pub fn run_tgemm(
     params: &TgemmParams,
     cores: usize,
 ) -> Result<RunReport, FtimmError> {
-    p.validate().map_err(FtimmError::Invalid)?;
+    crate::exec::validate_problem(p)?;
     let (mm, nn, kk) = (p.m(), p.n(), p.k());
     let tp = *params;
     let cores = cores.clamp(1, m.alive_cores().min(m.cfg.cores_per_cluster));

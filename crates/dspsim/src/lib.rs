@@ -26,7 +26,9 @@ pub mod exec;
 pub mod fault;
 pub mod machine;
 pub mod mem;
+pub mod minijson;
 pub mod planfile;
+pub mod profiler;
 pub mod stats;
 pub mod trace;
 
@@ -38,5 +40,9 @@ pub use exec::{run_program, ExecReport, KernelBindings};
 pub use fault::{CoreFailure, DmaFault, DmaFaultKind, FaultPlan, MemFault, MemTarget};
 pub use machine::{Cluster, ExecMode, Machine, DDR_CAPACITY};
 pub use mem::MemRegion;
+pub use profiler::{
+    phase_of_path, EventKind, Phase, PhaseProfile, Profiler, SimEvent, Span,
+    DEFAULT_PROFILE_CAPACITY, PHASE_COUNT, PROFILE_CORES,
+};
 pub use stats::{CoreStats, FaultStats, RunReport};
 pub use trace::{run_traced, ExecTrace};

@@ -1,6 +1,7 @@
 //! The machine: DDR, one GPDSP cluster, DMA execution and timing.
 
 use crate::fault::{splitmix64, DmaFaultKind, FaultState, MemTarget};
+use crate::profiler::{phase_of_path, EventKind, Phase, Profiler, Span};
 use crate::{
     transfer_time, Core, CoreStats, Dma2d, DmaPath, DmaTicket, FaultPlan, FaultStats, HwConfig,
     MemRegion, RunReport, SimError, WatchdogConfig, WatchdogUnit,
@@ -58,6 +59,8 @@ pub struct Machine {
     fault: FaultState,
     /// Armed watchdog budgets (`None` keeps every hot path untouched).
     watchdog: Option<WatchdogConfig>,
+    /// Span/event recorder (disabled by default; never advances clocks).
+    profiler: Profiler,
 }
 
 /// Default modelled DDR partition capacity (64 GiB — large enough for the
@@ -83,7 +86,48 @@ impl Machine {
             core_map,
             fault: FaultState::default(),
             watchdog: None,
+            profiler: Profiler::disabled(),
         }
+    }
+
+    /// Start recording phase spans and fault events into a fresh bounded
+    /// profiler (at most `capacity` spans; the oldest are dropped and
+    /// counted beyond that).  Recording reads the simulated clocks but
+    /// never advances them, so a profiled run stays bit-exact with an
+    /// unprofiled one.
+    pub fn profile_begin(&mut self, capacity: usize) {
+        self.profiler = Profiler::enabled(capacity);
+    }
+
+    /// Stop recording and take the recorded profiler; the machine reverts
+    /// to the zero-overhead disabled recorder.
+    pub fn profile_end(&mut self) -> Profiler {
+        std::mem::take(&mut self.profiler)
+    }
+
+    /// The current profiler (disabled and empty unless
+    /// [`Machine::profile_begin`] is active).
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
+    /// Record a caller-timed span for a *logical* core — for work whose
+    /// timing a strategy charges itself (e.g. the K-parallel GSM
+    /// reduction) rather than through a machine primitive.
+    pub fn record_span(&mut self, id: usize, phase: Phase, t0: f64, t1: f64) {
+        let core = self.core_map[id];
+        self.profiler.record(Span {
+            phase,
+            core,
+            t0,
+            t1,
+        });
+    }
+
+    /// Record a supervisor event (e.g. a resilience-layer retry) against
+    /// an optional *physical* core.
+    pub fn record_event(&mut self, kind: EventKind, core: Option<usize>, t: f64) {
+        self.profiler.event(kind, core, t);
     }
 
     /// Convenience: default hardware in the given mode.
@@ -189,6 +233,11 @@ impl Machine {
     /// (`0..alive_cores()`), so a caller can simply re-run with fewer
     /// cores.  The dead core's clocks and counters are frozen as-is.
     pub fn retire_core(&mut self, physical: usize) {
+        if self.core_map.contains(&physical) {
+            let t = self.physical_time(physical);
+            self.profiler
+                .event(EventKind::CoreRetired, Some(physical), t);
+        }
         self.core_map.retain(|&p| p != physical);
     }
 
@@ -253,6 +302,8 @@ impl Machine {
         let now = core.t_compute.max(core.t_dma_free);
         if now >= wd.deadline_s {
             self.fault.watchdog_trips += 1;
+            self.profiler
+                .event(EventKind::WatchdogDeadline, Some(phys), now);
             return Err(SimError::WatchdogTripped {
                 unit: WatchdogUnit::Core { core: phys },
                 at: now,
@@ -278,6 +329,7 @@ impl Machine {
         if let Some(t) = self.fault.core_death[phys] {
             if now >= t {
                 self.fault.failed[phys] = true;
+                self.profiler.event(EventKind::CoreFailed, Some(phys), t);
                 return Err(SimError::CoreFailed { core: phys, at: t });
             }
         }
@@ -287,14 +339,31 @@ impl Machine {
     /// Advance a core's compute clock by raw seconds without touching any
     /// cycle counter (recovery backoff; not architectural work).
     pub fn stall(&mut self, id: usize, seconds: f64) {
-        self.cluster.cores[self.core_map[id]].t_compute += seconds;
+        let phys = self.core_map[id];
+        let t0 = self.cluster.cores[phys].t_compute;
+        self.cluster.cores[phys].t_compute = t0 + seconds;
+        self.profiler.record(Span {
+            phase: Phase::Recovery,
+            core: phys,
+            t0,
+            t1: t0 + seconds,
+        });
     }
 
     /// Advance a core's compute clock by whole cycles and account them.
     pub fn compute(&mut self, id: usize, cycles: u64) {
-        let core = &mut self.cluster.cores[self.core_map[id]];
+        let phys = self.core_map[id];
+        let core = &mut self.cluster.cores[phys];
+        let t0 = core.t_compute;
         core.t_compute += cycles as f64 * self.cfg.cycle_s();
         core.stats.compute_cycles += cycles;
+        let t1 = core.t_compute;
+        self.profiler.record(Span {
+            phase: Phase::Compute,
+            core: phys,
+            t0,
+            t1,
+        });
     }
 
     /// Block a core until a DMA ticket completes.
@@ -313,7 +382,17 @@ impl Machine {
             .map(|&i| self.cluster.cores[self.core_map[i]].t_compute)
             .fold(0.0, f64::max);
         for &i in ids {
-            self.cluster.cores[self.core_map[i]].t_compute = t;
+            let phys = self.core_map[i];
+            let t0 = self.cluster.cores[phys].t_compute;
+            if t > t0 {
+                self.profiler.record(Span {
+                    phase: Phase::Barrier,
+                    core: phys,
+                    t0,
+                    t1: t,
+                });
+            }
+            self.cluster.cores[phys].t_compute = t;
         }
         t
     }
@@ -345,6 +424,7 @@ impl Machine {
                     core.t_dma_free = at;
                     core.t_compute = at;
                     self.fault.watchdog_trips += 1;
+                    self.record_hang(path, phys, start, at, EventKind::WatchdogDma);
                     return Err(SimError::WatchdogTripped {
                         unit: WatchdogUnit::Dma { core: phys, path },
                         at,
@@ -355,6 +435,7 @@ impl Machine {
                 // and the core blocks on it; no data moves.
                 core.t_dma_free = at;
                 core.t_compute = at;
+                self.record_hang(path, phys, start, at, EventKind::DmaTimeout);
                 return Err(SimError::DmaTimeout {
                     core: phys,
                     path,
@@ -362,6 +443,7 @@ impl Machine {
                 });
             }
         }
+        let corrupted = armed.is_some() && self.mode.is_functional();
         if self.mode.is_functional() {
             self.dma_copy(id, path, desc)?;
             if let Some(f) = armed {
@@ -370,7 +452,8 @@ impl Machine {
             }
         }
         let dur = transfer_time(&self.cfg, path, desc.bytes(), self.active_streams);
-        let core = &mut self.cluster.cores[self.core_map[id]];
+        let phys = self.core_map[id];
+        let core = &mut self.cluster.cores[phys];
         let start = core.t_dma_free.max(core.t_compute);
         let done = start + dur;
         core.t_dma_free = done;
@@ -380,10 +463,30 @@ impl Machine {
         } else {
             core.stats.gsm_bytes += desc.bytes();
         }
+        self.profiler.record(Span {
+            phase: phase_of_path(path),
+            core: phys,
+            t0: start,
+            t1: done,
+        });
+        if corrupted {
+            self.profiler.event(EventKind::DmaCorrupt, Some(phys), done);
+        }
         Ok(DmaTicket {
             done_at: done,
             bytes: desc.bytes(),
         })
+    }
+
+    /// Record the span and event of a DMA hang charge (fault injection).
+    fn record_hang(&mut self, path: DmaPath, phys: usize, t0: f64, t1: f64, kind: EventKind) {
+        self.profiler.record(Span {
+            phase: phase_of_path(path),
+            core: phys,
+            t0,
+            t1,
+        });
+        self.profiler.event(kind, Some(phys), t1);
     }
 
     /// Issue a DMA and immediately wait for it (synchronous transfer).
@@ -517,6 +620,7 @@ impl Machine {
             totals,
             cores_used: cores.len(),
             faults: self.fault_stats(),
+            profile: None,
         }
     }
 }

@@ -3,11 +3,9 @@
 //!
 //! The workspace builds offline with a marker-only serde stub (see
 //! `vendor/serde`), so this module carries its own tiny JSON writer and
-//! recursive-descent reader.  The grammar is the subset the plan needs —
-//! objects, arrays, strings without exotic escapes, and numbers — and the
-//! reader rejects anything else loudly.  Numbers are kept as their source
-//! text until a field claims them, so `u64` seeds survive beyond the
-//! 2^53 range where an `f64` detour would silently round.
+//! reads back through the shared [`crate::minijson`] reader (numbers keep
+//! their source text there, so `u64` seeds survive beyond the 2^53 range
+//! where an `f64` detour would silently round).
 //!
 //! ```
 //! use dspsim::{DmaPath, FaultPlan};
@@ -17,6 +15,7 @@
 //! ```
 
 use crate::fault::{CoreFailure, DmaFault, MemFault};
+use crate::minijson::{Parser, Value};
 use crate::{DmaFaultKind, DmaPath, FaultPlan, MemTarget};
 use std::fmt::Write as _;
 
@@ -221,205 +220,6 @@ fn parse_core_failure(v: &Value) -> Result<CoreFailure, String> {
         core: core.ok_or("core failure missing \"core\"")?,
         at_seconds: at.ok_or("core failure missing \"at_seconds\"")?,
     })
-}
-
-// ---------------------------------------------------------------- reading
-
-/// Parsed JSON value; numbers keep their source text so integer fields
-/// never take a lossy `f64` detour.
-enum Value {
-    Num(String),
-    Str(String),
-    Arr(Vec<Value>),
-    Obj(Vec<(String, Value)>),
-}
-
-impl Value {
-    fn as_obj(&self, what: &str) -> Result<&[(String, Value)], String> {
-        match self {
-            Value::Obj(fields) => Ok(fields),
-            _ => Err(format!("{what}: expected an object")),
-        }
-    }
-
-    fn as_arr(&self, what: &str) -> Result<&[Value], String> {
-        match self {
-            Value::Arr(items) => Ok(items),
-            _ => Err(format!("{what}: expected an array")),
-        }
-    }
-
-    fn as_str(&self, what: &str) -> Result<&str, String> {
-        match self {
-            Value::Str(s) => Ok(s),
-            _ => Err(format!("{what}: expected a string")),
-        }
-    }
-
-    fn as_u64(&self, what: &str) -> Result<u64, String> {
-        match self {
-            Value::Num(s) => s
-                .parse::<u64>()
-                .map_err(|e| format!("{what}: bad integer {s:?} ({e})")),
-            _ => Err(format!("{what}: expected a number")),
-        }
-    }
-
-    fn as_f64(&self, what: &str) -> Result<f64, String> {
-        match self {
-            Value::Num(s) => s
-                .parse::<f64>()
-                .map_err(|e| format!("{what}: bad number {s:?} ({e})")),
-            _ => Err(format!("{what}: expected a number")),
-        }
-    }
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn new(text: &'a str) -> Self {
-        Parser {
-            bytes: text.as_bytes(),
-            pos: 0,
-        }
-    }
-
-    fn parse(mut self) -> Result<Value, String> {
-        let v = self.value()?;
-        self.skip_ws();
-        if self.pos != self.bytes.len() {
-            return Err(format!("trailing data at byte {}", self.pos));
-        }
-        Ok(v)
-    }
-
-    fn skip_ws(&mut self) {
-        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
-            self.pos += 1;
-        }
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), String> {
-        self.skip_ws();
-        if self.bytes.get(self.pos) == Some(&b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(format!("expected {:?} at byte {}", char::from(b), self.pos))
-        }
-    }
-
-    fn value(&mut self) -> Result<Value, String> {
-        self.skip_ws();
-        match self.bytes.get(self.pos) {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
-            Some(b'"') => Ok(Value::Str(self.string()?)),
-            Some(c) if c.is_ascii_digit() || *c == b'-' => self.number(),
-            Some(c) => Err(format!(
-                "unexpected {:?} at byte {}",
-                char::from(*c),
-                self.pos
-            )),
-            None => Err("unexpected end of input".into()),
-        }
-    }
-
-    fn object(&mut self) -> Result<Value, String> {
-        self.expect(b'{')?;
-        let mut fields = Vec::new();
-        self.skip_ws();
-        if self.bytes.get(self.pos) == Some(&b'}') {
-            self.pos += 1;
-            return Ok(Value::Obj(fields));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.expect(b':')?;
-            fields.push((key, self.value()?));
-            self.skip_ws();
-            match self.bytes.get(self.pos) {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(Value::Obj(fields));
-                }
-                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<Value, String> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.bytes.get(self.pos) == Some(&b']') {
-            self.pos += 1;
-            return Ok(Value::Arr(items));
-        }
-        loop {
-            items.push(self.value()?);
-            self.skip_ws();
-            match self.bytes.get(self.pos) {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(Value::Arr(items));
-                }
-                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
-            }
-        }
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            match self.bytes.get(self.pos) {
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => match self.bytes.get(self.pos + 1) {
-                    Some(c @ (b'"' | b'\\' | b'/')) => {
-                        out.push(char::from(*c));
-                        self.pos += 2;
-                    }
-                    _ => return Err(format!("unsupported escape at byte {}", self.pos)),
-                },
-                Some(&c) => {
-                    out.push(char::from(c));
-                    self.pos += 1;
-                }
-                None => return Err("unterminated string".into()),
-            }
-        }
-    }
-
-    fn number(&mut self) -> Result<Value, String> {
-        let start = self.pos;
-        while matches!(
-            self.bytes.get(self.pos),
-            Some(c) if c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E')
-        ) {
-            self.pos += 1;
-        }
-        if self.pos == start {
-            return Err(format!("expected a number at byte {start}"));
-        }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("number bytes are ASCII")
-            .to_string();
-        // Validate the token now so errors point at the source.
-        text.parse::<f64>()
-            .map_err(|e| format!("bad number {text:?} at byte {start} ({e})"))?;
-        Ok(Value::Num(text))
-    }
 }
 
 #[cfg(test)]

@@ -1,5 +1,6 @@
 //! Execution statistics and efficiency accounting.
 
+use crate::profiler::PhaseProfile;
 use serde::{Deserialize, Serialize};
 
 /// Per-core counters accumulated during a simulated run.
@@ -69,6 +70,19 @@ impl FaultStats {
     pub fn injected(&self) -> u64 {
         self.dma_corruptions + self.dma_timeouts + self.bit_flips + self.cores_lost
     }
+
+    /// Merge another run's counters into this one (field-wise sum, like
+    /// [`CoreStats::merge`]).
+    pub fn merge(&mut self, other: &FaultStats) {
+        self.dma_corruptions += other.dma_corruptions;
+        self.dma_timeouts += other.dma_timeouts;
+        self.bit_flips += other.bit_flips;
+        self.cores_lost += other.cores_lost;
+        self.watchdog_trips += other.watchdog_trips;
+        self.retries += other.retries;
+        self.recomputed_tiles += other.recomputed_tiles;
+        self.rows_reexecuted += other.rows_reexecuted;
+    }
 }
 
 /// Result of one simulated GEMM (or kernel) run.
@@ -84,6 +98,9 @@ pub struct RunReport {
     pub cores_used: usize,
     /// Fault-injection and recovery counters (all zero in fault-free runs).
     pub faults: FaultStats,
+    /// Per-phase profile of the run; `None` unless the run was profiled
+    /// (see [`crate::Machine::profile_begin`]).
+    pub profile: Option<PhaseProfile>,
 }
 
 impl RunReport {
@@ -134,6 +151,7 @@ mod tests {
             totals: CoreStats::default(),
             cores_used: 1,
             faults: FaultStats::default(),
+            profile: None,
         };
         assert!((r.gflops() - 345.6).abs() < 1e-9);
         assert!((r.efficiency(345.6e9) - 1.0).abs() < 1e-12);
@@ -147,6 +165,7 @@ mod tests {
             totals: CoreStats::default(),
             cores_used: 1,
             faults: FaultStats::default(),
+            profile: None,
         };
         assert_eq!(r.gflops(), 0.0);
     }

@@ -2,7 +2,8 @@
 //! (they are embedded in experiment records and bench metadata).
 
 use dspsim::{
-    CoreStats, Dma2d, DmaPath, ExecMode, FaultPlan, FaultStats, HwConfig, RunReport, WatchdogConfig,
+    CoreStats, Dma2d, DmaPath, ExecMode, FaultPlan, FaultStats, HwConfig, PhaseProfile, RunReport,
+    WatchdogConfig,
 };
 
 /// Compile-time assertion that a type round-trips through serde.
@@ -18,6 +19,7 @@ fn public_value_types_implement_serde() {
     assert_serde::<ExecMode>();
     assert_serde::<FaultPlan>();
     assert_serde::<FaultStats>();
+    assert_serde::<PhaseProfile>();
     assert_serde::<WatchdogConfig>();
 }
 
@@ -44,6 +46,7 @@ fn core_stats_and_report_are_copyable_value_types() {
         totals: a,
         cores_used: 8,
         faults: FaultStats::default(),
+        profile: None,
     };
     let r2 = r;
     assert_eq!(r, r2);
