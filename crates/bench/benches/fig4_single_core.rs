@@ -2,9 +2,9 @@
 //! the timing model (measures the simulator's evaluation cost per paper
 //! panel).
 
+use bench::Harness;
 use criterion::{criterion_group, criterion_main, Criterion};
 use ftimm::{GemmShape, Strategy};
-use ftimm_bench::Harness;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig4");

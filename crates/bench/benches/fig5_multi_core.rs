@@ -2,10 +2,10 @@
 //! functional (data-moving) simulation of a reduced multi-core point in
 //! both ftIMM strategies.
 
+use bench::Harness;
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use dspsim::{ExecMode, HwConfig, Machine};
 use ftimm::{FtImm, GemmProblem, GemmShape, Strategy};
-use ftimm_bench::Harness;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig5");

@@ -1,9 +1,9 @@
 //! Criterion bench for Fig. 6: scalability-curve evaluation (all three
 //! shapes × four core counts on the timing model).
 
+use bench::Harness;
 use criterion::{criterion_group, criterion_main, Criterion};
 use ftimm::{GemmShape, Strategy};
-use ftimm_bench::Harness;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig6");

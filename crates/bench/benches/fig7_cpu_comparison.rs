@@ -22,7 +22,7 @@ fn bench(c: &mut Criterion) {
     });
     g.bench_function("efficiency_point", |b| {
         use ftimm::{GemmShape, Strategy};
-        let h = ftimm_bench::Harness::new();
+        let h = bench::Harness::new();
         let shape = GemmShape::new(20480, 32, 20480);
         b.iter(|| {
             let dsp = h.gflops(&shape, Strategy::Auto, 8) / h.dsp_peak_gflops();

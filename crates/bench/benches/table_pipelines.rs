@@ -23,7 +23,7 @@ fn bench(c: &mut Criterion) {
         });
     }
     g.bench_function("render_all", |b| {
-        b.iter(|| ftimm_bench::tables::render(&ftimm_bench::tables::compute()))
+        b.iter(|| bench::tables::render(&bench::tables::compute()))
     });
     g.finish();
 }

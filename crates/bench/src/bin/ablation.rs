@@ -1,8 +1,5 @@
 //! Ablation study: contribution of each ftIMM mechanism.
-//! Run: `cargo run --release -p ftimm-bench --bin ablation`
+//! Run: `cargo run --release -p bench --bin ablation`
 fn main() {
-    print!(
-        "{}",
-        ftimm_bench::ablation::render(&ftimm_bench::ablation::compute())
-    );
+    print!("{}", bench::ablation::render(&bench::ablation::compute()));
 }

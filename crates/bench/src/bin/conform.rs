@@ -1,0 +1,123 @@
+//! Conformance driver: seeded differential fuzzing plus corpus replay.
+//!
+//! Usage:
+//! `cargo run -p bench --bin conform -- [--iters N] [--seed S] [--corpus DIR] [--no-replay]`
+//!
+//! Runs `N` seeded fuzz iterations through the conformance oracles,
+//! prints the per-regime/per-oracle coverage table, replays every
+//! persisted fixture in the corpus, and exits nonzero on any mismatch.
+//! New mismatches are shrunk and written into the corpus directory as
+//! minimal-repro fixtures.
+
+use conformance::corpus::{default_corpus_dir, replay_dir, write_fixture};
+use conformance::fuzzer::run_fuzz;
+use dspsim::HwConfig;
+use ftimm::FtImm;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    iters: u64,
+    seed: u64,
+    corpus: PathBuf,
+    replay: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        iters: 200,
+        seed: 7,
+        corpus: default_corpus_dir(),
+        replay: true,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let need = |i: usize| {
+            argv.get(i + 1).unwrap_or_else(|| {
+                eprintln!("missing value after {}", argv[i]);
+                std::process::exit(2);
+            })
+        };
+        match argv[i].as_str() {
+            "--iters" => {
+                args.iters = need(i).parse().expect("--iters takes a number");
+                i += 2;
+            }
+            "--seed" => {
+                args.seed = need(i).parse().expect("--seed takes a number");
+                i += 2;
+            }
+            "--corpus" => {
+                args.corpus = PathBuf::from(need(i));
+                i += 2;
+            }
+            "--no-replay" => {
+                args.replay = false;
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let ft = FtImm::new(HwConfig::default());
+    let mut failed = false;
+
+    println!(
+        "== conformance fuzz: {} iterations, seed {} ==",
+        args.iters, args.seed
+    );
+    let summary = run_fuzz(&ft, args.seed, args.iters, |i, case, passed| {
+        if !passed {
+            println!("  case {i} FAILED: {case}");
+        } else if (i + 1) % 50 == 0 {
+            println!("  ... {} cases done", i + 1);
+        }
+    });
+    println!("\n{}", summary.coverage_table());
+    if !summary.mismatches.is_empty() {
+        failed = true;
+        println!("{} mismatch(es); shrunk repros:", summary.mismatches.len());
+        for m in &summary.mismatches {
+            println!("  {m}");
+            match write_fixture(&args.corpus, m) {
+                Ok(path) => println!("    fixture written: {}", path.display()),
+                Err(e) => println!("    (could not persist fixture: {e})"),
+            }
+        }
+    } else {
+        println!("fuzz: {} cases, zero mismatches", args.iters);
+    }
+
+    if args.replay {
+        println!("\n== corpus replay: {} ==", args.corpus.display());
+        let outcomes = replay_dir(&ft, &args.corpus);
+        let mut passed = 0usize;
+        for o in &outcomes {
+            match &o.result {
+                Ok(()) => passed += 1,
+                Err(why) => {
+                    failed = true;
+                    println!(
+                        "  REPLAY FAILED {}: {why}",
+                        o.path.file_name().unwrap_or_default().to_string_lossy()
+                    );
+                }
+            }
+        }
+        println!("replay: {passed}/{} fixtures pass", outcomes.len());
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

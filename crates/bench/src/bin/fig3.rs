@@ -1,5 +1,5 @@
-//! Regenerates Fig. 3 of the paper. Run: `cargo run --release -p ftimm-bench --bin fig3`
+//! Regenerates Fig. 3 of the paper. Run: `cargo run --release -p bench --bin fig3`
 fn main() {
-    let data = ftimm_bench::fig3::compute();
-    print!("{}", ftimm_bench::fig3::render(&data));
+    let data = bench::fig3::compute();
+    print!("{}", bench::fig3::render(&data));
 }

@@ -1,5 +1,5 @@
-//! Regenerates Fig. 4 of the paper. Run: `cargo run --release -p ftimm-bench --bin fig4`
+//! Regenerates Fig. 4 of the paper. Run: `cargo run --release -p bench --bin fig4`
 fn main() {
-    let data = ftimm_bench::fig4::compute();
-    print!("{}", ftimm_bench::fig4::render(&data));
+    let data = bench::fig4::compute();
+    print!("{}", bench::fig4::render(&data));
 }

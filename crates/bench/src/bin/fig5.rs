@@ -1,5 +1,5 @@
-//! Regenerates Fig. 5 of the paper. Run: `cargo run --release -p ftimm-bench --bin fig5`
+//! Regenerates Fig. 5 of the paper. Run: `cargo run --release -p bench --bin fig5`
 fn main() {
-    let data = ftimm_bench::fig5::compute();
-    print!("{}", ftimm_bench::fig5::render(&data));
+    let data = bench::fig5::compute();
+    print!("{}", bench::fig5::render(&data));
 }

@@ -1,5 +1,5 @@
-//! Regenerates Fig. 6 of the paper. Run: `cargo run --release -p ftimm-bench --bin fig6`
+//! Regenerates Fig. 6 of the paper. Run: `cargo run --release -p bench --bin fig6`
 fn main() {
-    let data = ftimm_bench::fig6::compute();
-    print!("{}", ftimm_bench::fig6::render(&data));
+    let data = bench::fig6::compute();
+    print!("{}", bench::fig6::render(&data));
 }

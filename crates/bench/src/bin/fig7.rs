@@ -1,5 +1,5 @@
-//! Regenerates Fig. 7 of the paper. Run: `cargo run --release -p ftimm-bench --bin fig7`
+//! Regenerates Fig. 7 of the paper. Run: `cargo run --release -p bench --bin fig7`
 fn main() {
-    let data = ftimm_bench::fig7::compute();
-    print!("{}", ftimm_bench::fig7::render(&data));
+    let data = bench::fig7::compute();
+    print!("{}", bench::fig7::render(&data));
 }

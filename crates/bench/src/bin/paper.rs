@@ -1,33 +1,12 @@
 //! Regenerates every table and figure of the paper's evaluation in one go.
-//! Run: `cargo run --release -p ftimm-bench --bin paper`
+//! Run: `cargo run --release -p bench --bin paper`
 fn main() {
     println!("=== ftIMM reproduction: all tables and figures ===\n");
-    print!(
-        "{}",
-        ftimm_bench::tables::render(&ftimm_bench::tables::compute())
-    );
-    print!(
-        "{}",
-        ftimm_bench::fig3::render(&ftimm_bench::fig3::compute())
-    );
-    print!(
-        "{}",
-        ftimm_bench::fig4::render(&ftimm_bench::fig4::compute())
-    );
-    print!(
-        "{}",
-        ftimm_bench::fig5::render(&ftimm_bench::fig5::compute())
-    );
-    print!(
-        "{}",
-        ftimm_bench::fig6::render(&ftimm_bench::fig6::compute())
-    );
-    print!(
-        "{}",
-        ftimm_bench::fig7::render(&ftimm_bench::fig7::compute())
-    );
-    print!(
-        "{}",
-        ftimm_bench::ablation::render(&ftimm_bench::ablation::compute())
-    );
+    print!("{}", bench::tables::render(&bench::tables::compute()));
+    print!("{}", bench::fig3::render(&bench::fig3::compute()));
+    print!("{}", bench::fig4::render(&bench::fig4::compute()));
+    print!("{}", bench::fig5::render(&bench::fig5::compute()));
+    print!("{}", bench::fig6::render(&bench::fig6::compute()));
+    print!("{}", bench::fig7::render(&bench::fig7::compute()));
+    print!("{}", bench::ablation::render(&bench::ablation::compute()));
 }

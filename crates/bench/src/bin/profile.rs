@@ -3,7 +3,7 @@
 //! and a Chrome `trace_event` file.
 //!
 //! Usage:
-//! `cargo run --release -p ftimm-bench --bin profile -- [options] M N K`
+//! `cargo run --release -p bench --bin profile -- [options] M N K`
 //!
 //! Options:
 //! * `--strategy auto|rules|mpar|kpar|tgemm` (default `auto`)

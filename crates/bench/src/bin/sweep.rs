@@ -1,10 +1,10 @@
 //! Custom shape sweep: evaluate ftIMM (auto), both forced strategies and
 //! TGEMM on user-supplied shapes.
 //!
-//! Usage: `cargo run --release -p ftimm-bench --bin sweep -- M N K [M N K ...] [--cores C]`
+//! Usage: `cargo run --release -p bench --bin sweep -- M N K [M N K ...] [--cores C]`
 
+use bench::Harness;
 use ftimm::{GemmShape, Strategy};
-use ftimm_bench::Harness;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();

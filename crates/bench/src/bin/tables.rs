@@ -1,6 +1,6 @@
 //! Regenerates Tables I-III of the paper (generated assembly pipelines).
-//! Run: `cargo run --release -p ftimm-bench --bin tables`
+//! Run: `cargo run --release -p bench --bin tables`
 fn main() {
-    let data = ftimm_bench::tables::compute();
-    print!("{}", ftimm_bench::tables::render(&data));
+    let data = bench::tables::compute();
+    print!("{}", bench::tables::render(&data));
 }

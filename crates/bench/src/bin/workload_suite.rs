@@ -1,8 +1,8 @@
 //! Workload suite evaluation (k-means, VGG-16 layers, FEM batches).
-//! Run: `cargo run --release -p ftimm-bench --bin workload_suite`
+//! Run: `cargo run --release -p bench --bin workload_suite`
 fn main() {
     print!(
         "{}",
-        ftimm_bench::workload_eval::render(&ftimm_bench::workload_eval::compute())
+        bench::workload_eval::render(&bench::workload_eval::compute())
     );
 }

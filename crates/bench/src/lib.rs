@@ -1,4 +1,4 @@
-//! # ftimm-bench
+//! # bench
 //!
 //! The reproduction harness: one module per table/figure of the paper's
 //! evaluation (§V).  Each module exposes `compute()` returning structured

@@ -1,0 +1,634 @@
+//! The ISA static verifier: a lint pass over [`ftimm_isa::Program`].
+//!
+//! `Bundle::push` enforces issue rules *at construction*, and the
+//! `dspsim` interpreter re-checks RAW latencies *at execution* — but a
+//! program that was deserialized, hand-built, or mangled by a generator
+//! bug can bypass the first, and `ExecMode::Fast`/`Timing` runs never hit
+//! the second.  This pass re-derives every rule from the architectural
+//! model alone, so it can vet any kernel `kernelgen` emits (or refuses
+//! to) without executing it:
+//!
+//! * **structure** — loop levels within [`ftimm_isa::addr::MAX_LOOP_DEPTH`],
+//!   no zero-trip loops;
+//! * **issue rules** — operand signatures, opcode/unit-class membership,
+//!   one instruction per unit, ≤ 5 scalar + ≤ 6 vector slots per cycle
+//!   (`SBR` rides the control unit outside the scalar budget, matching
+//!   the paper's tables);
+//! * **hazards** — RAW against [`ftimm_isa::LatencyTable`] over the exact
+//!   dynamic bundle order the interpreter executes (loop-carried
+//!   included), plus WAW writes that would retire out of order;
+//! * **register lifetime** — no read of a register the program never
+//!   defined before that point;
+//! * **occupancy** — [`kernelgen::verify_occupancy`]'s structured check.
+//!
+//! The pass collects every violation (it does not stop at the first) so
+//! fuzzer reports and CI logs show the whole damage picture.
+
+use ftimm_isa::{
+    Bundle, Instruction, LatencyTable, Program, Section, Unit, MAX_SCALAR_SLOTS, MAX_VECTOR_SLOTS,
+    NUM_SREGS, NUM_VREGS,
+};
+use std::fmt;
+
+/// What a [`Violation`] found.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ViolationKind {
+    /// A loop section nests deeper than address expressions can index.
+    LoopTooDeep {
+        /// The offending level.
+        level: u8,
+    },
+    /// A counted loop with zero trips (legal nowhere in the generator's
+    /// output; `Program::cycles` would silently drop the body).
+    ZeroTripLoop,
+    /// An instruction whose operand lists don't match its opcode.
+    MalformedInstruction {
+        /// The ISA-level diagnostic.
+        detail: String,
+    },
+    /// An instruction issued on a unit outside its opcode's class.
+    WrongUnit {
+        /// The mnemonic.
+        mnemonic: &'static str,
+    },
+    /// Two instructions on the same unit in one cycle.
+    DuplicateUnit,
+    /// More scalar-side execution slots than the machine has.
+    ScalarOverflow {
+        /// Scalar-side instructions found (excluding `SBR`).
+        got: usize,
+    },
+    /// More vector-side slots than the machine has.
+    VectorOverflow {
+        /// Vector-side instructions found.
+        got: usize,
+    },
+    /// A register read before its producing write's latency elapsed.
+    ReadAfterWrite {
+        /// The register, as displayed (`R3` / `V17`).
+        register: String,
+        /// Cycle the write's result becomes readable.
+        ready_cycle: u64,
+    },
+    /// A register whose two in-flight writes would retire out of order.
+    WriteAfterWrite {
+        /// The register, as displayed.
+        register: String,
+        /// Retire cycle of the earlier (still unretired) write.
+        prior_retire_cycle: u64,
+    },
+    /// A register read that no prior instruction ever defined.
+    UndefinedRead {
+        /// The register, as displayed.
+        register: String,
+    },
+    /// A unit that issues more instructions than the program has cycles.
+    Occupancy {
+        /// The structured diagnostic from `kernelgen`.
+        diag: kernelgen::OccupancyViolation,
+    },
+}
+
+/// One rule violation, located by dynamic cycle and (where meaningful)
+/// unit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// Dynamic cycle (bundle index with loops expanded); `None` for
+    /// whole-program checks such as occupancy.
+    pub cycle: Option<u64>,
+    /// The unit involved, when the rule is per-slot.
+    pub unit: Option<Unit>,
+    /// What went wrong.
+    pub kind: ViolationKind,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.cycle {
+            Some(c) => write!(f, "cycle {c}")?,
+            None => write!(f, "program")?,
+        }
+        if let Some(u) = self.unit {
+            write!(f, " [{u}]")?;
+        }
+        write!(f, ": ")?;
+        match &self.kind {
+            ViolationKind::LoopTooDeep { level } => write!(f, "loop level {level} too deep"),
+            ViolationKind::ZeroTripLoop => write!(f, "zero-trip loop"),
+            ViolationKind::MalformedInstruction { detail } => {
+                write!(f, "malformed instruction: {detail}")
+            }
+            ViolationKind::WrongUnit { mnemonic } => {
+                write!(f, "{mnemonic} cannot issue on this unit")
+            }
+            ViolationKind::DuplicateUnit => write!(f, "two instructions on one unit"),
+            ViolationKind::ScalarOverflow { got } => {
+                write!(f, "{got} scalar slots (max {MAX_SCALAR_SLOTS})")
+            }
+            ViolationKind::VectorOverflow { got } => {
+                write!(f, "{got} vector slots (max {MAX_VECTOR_SLOTS})")
+            }
+            ViolationKind::ReadAfterWrite {
+                register,
+                ready_cycle,
+            } => write!(f, "RAW hazard on {register} (ready at cycle {ready_cycle})"),
+            ViolationKind::WriteAfterWrite {
+                register,
+                prior_retire_cycle,
+            } => write!(
+                f,
+                "WAW hazard on {register} (prior write retires at cycle {prior_retire_cycle})"
+            ),
+            ViolationKind::UndefinedRead { register } => {
+                write!(f, "read of never-written {register}")
+            }
+            ViolationKind::Occupancy { diag } => write!(f, "{diag}"),
+        }
+    }
+}
+
+/// Outcome of one verification pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifyReport {
+    /// Program name (for logs).
+    pub name: String,
+    /// Dynamic cycles walked.
+    pub cycles: u64,
+    /// Every violation found, in discovery order.
+    pub violations: Vec<Violation>,
+}
+
+impl VerifyReport {
+    /// Whether the program passed every check.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl fmt::Display for VerifyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return write!(f, "{}: clean ({} cycles)", self.name, self.cycles);
+        }
+        writeln!(
+            f,
+            "{}: {} violation(s) in {} cycles",
+            self.name,
+            self.violations.len(),
+            self.cycles
+        )?;
+        for v in &self.violations {
+            writeln!(f, "  {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Caps how many violations a single pass accumulates: a corrupt loop
+/// body repeats its damage every trip and would otherwise flood memory.
+const MAX_VIOLATIONS: usize = 64;
+
+struct VerifyState<'a> {
+    lat: &'a LatencyTable,
+    cycle: u64,
+    /// `ready[r]` — first cycle register `r` may be read again.
+    ready_s: [u64; NUM_SREGS],
+    ready_v: [u64; NUM_VREGS],
+    /// Whether the register has ever been written.
+    def_s: [bool; NUM_SREGS],
+    def_v: [bool; NUM_VREGS],
+    violations: Vec<Violation>,
+}
+
+impl VerifyState<'_> {
+    fn report(&mut self, cycle: Option<u64>, unit: Option<Unit>, kind: ViolationKind) {
+        if self.violations.len() < MAX_VIOLATIONS {
+            self.violations.push(Violation { cycle, unit, kind });
+        }
+    }
+
+    fn check_bundle_static(&mut self, bundle: &Bundle) {
+        let cycle = self.cycle;
+        let slots = bundle.slots();
+        let mut scalar_exec = 0usize;
+        let mut vector = 0usize;
+        for (i, (unit, inst)) in slots.iter().enumerate() {
+            if let Err(e) = inst.validate() {
+                self.report(
+                    Some(cycle),
+                    Some(*unit),
+                    ViolationKind::MalformedInstruction {
+                        detail: e.to_string(),
+                    },
+                );
+            }
+            if !inst.opcode.unit_class().members().contains(unit) {
+                self.report(
+                    Some(cycle),
+                    Some(*unit),
+                    ViolationKind::WrongUnit {
+                        mnemonic: inst.opcode.mnemonic(),
+                    },
+                );
+            }
+            if slots[..i].iter().any(|(u, _)| u == unit) {
+                self.report(Some(cycle), Some(*unit), ViolationKind::DuplicateUnit);
+            }
+            if unit.is_scalar_side() {
+                if *unit != Unit::Control {
+                    scalar_exec += 1;
+                }
+            } else {
+                vector += 1;
+            }
+        }
+        if scalar_exec > MAX_SCALAR_SLOTS {
+            self.report(
+                Some(cycle),
+                None,
+                ViolationKind::ScalarOverflow { got: scalar_exec },
+            );
+        }
+        if vector > MAX_VECTOR_SLOTS {
+            self.report(
+                Some(cycle),
+                None,
+                ViolationKind::VectorOverflow { got: vector },
+            );
+        }
+    }
+
+    /// Hazard/lifetime checks, mirroring the interpreter's in-bundle
+    /// order: instructions take effect one by one in canonical unit
+    /// order, so a same-cycle def is *not* readable by its bundle-mates.
+    fn check_bundle_dynamic(&mut self, bundle: &Bundle, inst_checks: bool) {
+        let cycle = self.cycle;
+        for (unit, inst) in bundle.slots().iter() {
+            if inst_checks {
+                self.check_instruction_hazards(cycle, *unit, inst);
+            }
+            let lat = self.lat.of(inst.opcode) as u64;
+            for r in &inst.sdefs {
+                self.ready_s[r.index()] = cycle + lat;
+                self.def_s[r.index()] = true;
+            }
+            for r in &inst.vdefs {
+                self.ready_v[r.index()] = cycle + lat;
+                self.def_v[r.index()] = true;
+            }
+        }
+        self.cycle += 1;
+    }
+
+    fn check_instruction_hazards(&mut self, cycle: u64, unit: Unit, inst: &Instruction) {
+        let lat = self.lat.of(inst.opcode) as u64;
+        for r in &inst.suses {
+            let i = r.index();
+            if !self.def_s[i] {
+                self.report(
+                    Some(cycle),
+                    Some(unit),
+                    ViolationKind::UndefinedRead {
+                        register: r.to_string(),
+                    },
+                );
+            } else if cycle < self.ready_s[i] {
+                self.report(
+                    Some(cycle),
+                    Some(unit),
+                    ViolationKind::ReadAfterWrite {
+                        register: r.to_string(),
+                        ready_cycle: self.ready_s[i],
+                    },
+                );
+            }
+        }
+        for r in &inst.vuses {
+            let i = r.index();
+            if !self.def_v[i] {
+                self.report(
+                    Some(cycle),
+                    Some(unit),
+                    ViolationKind::UndefinedRead {
+                        register: r.to_string(),
+                    },
+                );
+            } else if cycle < self.ready_v[i] {
+                self.report(
+                    Some(cycle),
+                    Some(unit),
+                    ViolationKind::ReadAfterWrite {
+                        register: r.to_string(),
+                        ready_cycle: self.ready_v[i],
+                    },
+                );
+            }
+        }
+        // WAW: a new write must not retire at or before an in-flight one.
+        // (A register that is also read by this instruction was already
+        // gated by the RAW check above — VFMULAS32's accumulator pattern.)
+        for r in &inst.sdefs {
+            let i = r.index();
+            if !inst.suses.contains(r) && cycle < self.ready_s[i] && cycle + lat <= self.ready_s[i]
+            {
+                self.report(
+                    Some(cycle),
+                    Some(unit),
+                    ViolationKind::WriteAfterWrite {
+                        register: r.to_string(),
+                        prior_retire_cycle: self.ready_s[i],
+                    },
+                );
+            }
+        }
+        for r in &inst.vdefs {
+            let i = r.index();
+            if !inst.vuses.contains(r) && cycle < self.ready_v[i] && cycle + lat <= self.ready_v[i]
+            {
+                self.report(
+                    Some(cycle),
+                    Some(unit),
+                    ViolationKind::WriteAfterWrite {
+                        register: r.to_string(),
+                        prior_retire_cycle: self.ready_v[i],
+                    },
+                );
+            }
+        }
+    }
+}
+
+fn check_structure(sections: &[Section], state: &mut VerifyState<'_>) {
+    for s in sections {
+        if let Section::Loop { level, trips, body } = s {
+            if (level.0 as usize) >= ftimm_isa::addr::MAX_LOOP_DEPTH {
+                state.report(None, None, ViolationKind::LoopTooDeep { level: level.0 });
+            }
+            if *trips == 0 {
+                state.report(None, None, ViolationKind::ZeroTripLoop);
+            }
+            check_structure(body, state);
+        }
+    }
+}
+
+/// Run the full lint pass over a program.
+pub fn verify_program(program: &Program, lat: &LatencyTable) -> VerifyReport {
+    let mut state = VerifyState {
+        lat,
+        cycle: 0,
+        ready_s: [0; NUM_SREGS],
+        ready_v: [0; NUM_VREGS],
+        def_s: [false; NUM_SREGS],
+        def_v: [false; NUM_VREGS],
+        violations: Vec::new(),
+    };
+    check_structure(&program.sections, &mut state);
+
+    // Pass 1 — per-bundle issue rules, each *static* bundle once (a loop
+    // body's rule violations don't depend on the trip).
+    for_each_static_bundle(&program.sections, &mut |b| {
+        state.check_bundle_static(b);
+        state.cycle += 1;
+    });
+    let static_ok = state.violations.is_empty();
+    state.cycle = 0;
+
+    // Pass 2 — hazards over the dynamic order (loop-carried effects need
+    // the real trip sequence).  Skipped when the bundle structure itself
+    // is broken: hazard states of malformed slots are meaningless.
+    program
+        .visit::<std::convert::Infallible>(&mut |_idx, bundle| {
+            state.check_bundle_dynamic(bundle, static_ok);
+            Ok(())
+        })
+        .unwrap_or_else(|e| match e {});
+
+    if let Err(diag) = kernelgen::verify_occupancy(program) {
+        state.report(None, Some(diag.unit), ViolationKind::Occupancy { diag });
+    }
+
+    VerifyReport {
+        name: program.name.clone(),
+        cycles: state.cycle,
+        violations: state.violations,
+    }
+}
+
+fn for_each_static_bundle(sections: &[Section], f: &mut impl FnMut(&Bundle)) {
+    for s in sections {
+        match s {
+            Section::Straight(bundles) => bundles.iter().for_each(&mut *f),
+            Section::Loop { body, .. } => for_each_static_bundle(body, f),
+        }
+    }
+}
+
+/// Verify a generated kernel against the default latency table, as the
+/// fuzzer does for every kernel a plan pulls.
+pub fn verify_kernel(kernel: &kernelgen::MicroKernel) -> VerifyReport {
+    verify_program(&kernel.program, &LatencyTable::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dspsim::HwConfig;
+    use ftimm_isa::{AddrExpr, BufId, Instruction, LoopLevel, MemSpace, SReg, VReg};
+    use kernelgen::{KernelSpec, MicroKernel};
+
+    fn v(n: u16) -> VReg {
+        VReg::new(n).unwrap()
+    }
+    fn r(n: u16) -> SReg {
+        SReg::new(n).unwrap()
+    }
+
+    fn generated(m: usize, k: usize, n: usize) -> MicroKernel {
+        MicroKernel::generate(KernelSpec::new(m, k, n).unwrap(), &HwConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn generated_kernels_are_clean() {
+        for (m, k, n) in [
+            (6, 512, 96),
+            (6, 512, 32),
+            (14, 64, 96),
+            (3, 40, 48),
+            (1, 5, 1),
+        ] {
+            let rep = verify_kernel(&generated(m, k, n));
+            assert!(rep.is_clean(), "{rep}");
+        }
+    }
+
+    #[test]
+    fn corrupted_bundle_is_rejected() {
+        // Take a real kernel and smuggle a duplicate-unit FMAC plus a
+        // wrong-unit instruction into its first straight section.
+        let mut kernel = generated(6, 64, 96);
+        let extra = Instruction::vfmulas32(v(0), v(1), v(2));
+        let wrong = Instruction::sldh(r(0), AddrExpr::flat(MemSpace::Sm, BufId::A, 0));
+        // The generator wraps everything in loops; find the first straight
+        // run of bundles wherever it nests.
+        fn first_straight(sections: &mut [ftimm_isa::Section]) -> Option<&mut Bundle> {
+            for s in sections {
+                match s {
+                    ftimm_isa::Section::Straight(bundles) if !bundles.is_empty() => {
+                        return Some(&mut bundles[0]);
+                    }
+                    ftimm_isa::Section::Loop { body, .. } => {
+                        if let Some(b) = first_straight(body) {
+                            return Some(b);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            None
+        }
+        let bundle = first_straight(&mut kernel.program.sections).unwrap();
+        bundle.push_unchecked(Unit::VectorFmac1, extra.clone());
+        bundle.push_unchecked(Unit::VectorFmac1, extra);
+        bundle.push_unchecked(Unit::VectorFmac2, wrong);
+        let rep = verify_kernel(&kernel);
+        assert!(!rep.is_clean());
+        assert!(rep
+            .violations
+            .iter()
+            .any(|x| matches!(x.kind, ViolationKind::DuplicateUnit)));
+        assert!(rep
+            .violations
+            .iter()
+            .any(|x| matches!(x.kind, ViolationKind::WrongUnit { .. })));
+    }
+
+    #[test]
+    fn raw_hazard_is_detected_with_cycle_and_unit() {
+        let lat = LatencyTable::default();
+        let mut p = Program::new("raw");
+        let mut b0 = Bundle::new();
+        b0.push_auto(Instruction::vldw(
+            v(0),
+            AddrExpr::flat(MemSpace::Am, BufId::B, 0),
+        ))
+        .unwrap();
+        let mut b1 = Bundle::new();
+        b1.push_auto(Instruction::vmov(v(1), v(0))).unwrap();
+        p.sections.push(Section::Straight(vec![b0, b1]));
+        let rep = verify_program(&p, &lat);
+        let raw = rep
+            .violations
+            .iter()
+            .find(|x| matches!(x.kind, ViolationKind::ReadAfterWrite { .. }))
+            .expect("RAW expected");
+        assert_eq!(raw.cycle, Some(1));
+        assert_eq!(raw.unit, Some(Unit::VectorMisc));
+        match &raw.kind {
+            ViolationKind::ReadAfterWrite { ready_cycle, .. } => {
+                assert_eq!(*ready_cycle, lat.t_vldw as u64);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn loop_carried_raw_is_detected() {
+        // A 1-cycle loop body that reads what it wrote the previous trip,
+        // faster than the FMA latency allows.
+        let mut body = Bundle::new();
+        body.push_auto(Instruction::vfadds32(v(0), v(1), v(2)))
+            .unwrap();
+        let mut init = Bundle::new();
+        init.push_auto(Instruction::vclr(v(1))).unwrap();
+        let mut init2 = Bundle::new();
+        init2.push_auto(Instruction::vclr(v(2))).unwrap();
+        let mut p = Program::new("carried");
+        p.sections.push(Section::Straight(vec![init, init2]));
+        // Pad so the VCLRs have retired before the loop starts.
+        p.sections.push(Section::Straight(vec![Bundle::new(); 4]));
+        let mut swap = Bundle::new();
+        swap.push_auto(Instruction::vfadds32(v(1), v(0), v(2)))
+            .unwrap();
+        p.sections.push(Section::Loop {
+            level: LoopLevel(0),
+            trips: 3,
+            body: vec![Section::Straight(vec![body, swap])],
+        });
+        let rep = verify_program(&p, &LatencyTable::default());
+        assert!(
+            rep.violations
+                .iter()
+                .any(|x| matches!(x.kind, ViolationKind::ReadAfterWrite { .. })),
+            "{rep}"
+        );
+    }
+
+    #[test]
+    fn undefined_read_and_structure_checks_fire() {
+        let mut p = Program::new("undef");
+        let mut b = Bundle::new();
+        b.push_auto(Instruction::vmov(v(3), v(9))).unwrap();
+        p.sections.push(Section::Loop {
+            level: LoopLevel(7),
+            trips: 0,
+            body: vec![Section::Straight(vec![b])],
+        });
+        let rep = verify_program(&p, &LatencyTable::default());
+        assert!(rep
+            .violations
+            .iter()
+            .any(|x| matches!(x.kind, ViolationKind::LoopTooDeep { level: 7 })));
+        assert!(rep
+            .violations
+            .iter()
+            .any(|x| matches!(x.kind, ViolationKind::ZeroTripLoop)));
+        // trips = 0 means the body never executes dynamically, so the
+        // undefined read is only caught via the static walk… which is
+        // hazard-free by design.  Re-check with one trip.
+        let mut p2 = Program::new("undef2");
+        let mut b2 = Bundle::new();
+        b2.push_auto(Instruction::vmov(v(3), v(9))).unwrap();
+        p2.sections.push(Section::Straight(vec![b2]));
+        let rep2 = verify_program(&p2, &LatencyTable::default());
+        assert!(rep2
+            .violations
+            .iter()
+            .any(|x| matches!(x.kind, ViolationKind::UndefinedRead { .. })));
+    }
+
+    #[test]
+    fn waw_out_of_order_retire_is_detected() {
+        // VLDW V0 (latency 5) followed next cycle by VCLR V0 (latency 1):
+        // the clear would retire before the load lands.
+        let mut b0 = Bundle::new();
+        b0.push_auto(Instruction::vldw(
+            v(0),
+            AddrExpr::flat(MemSpace::Am, BufId::B, 0),
+        ))
+        .unwrap();
+        let mut b1 = Bundle::new();
+        b1.push_auto(Instruction::vclr(v(0))).unwrap();
+        let mut p = Program::new("waw");
+        p.sections.push(Section::Straight(vec![b0, b1]));
+        let rep = verify_program(&p, &LatencyTable::default());
+        assert!(
+            rep.violations
+                .iter()
+                .any(|x| matches!(x.kind, ViolationKind::WriteAfterWrite { .. })),
+            "{rep}"
+        );
+    }
+
+    #[test]
+    fn display_formats_are_readable() {
+        let clean = verify_kernel(&generated(6, 64, 64));
+        assert!(clean.to_string().contains("clean"));
+        let mut p = Program::new("bad");
+        let mut b = Bundle::new();
+        b.push_auto(Instruction::vmov(v(0), v(1))).unwrap();
+        p.sections.push(Section::Straight(vec![b]));
+        let rep = verify_program(&p, &LatencyTable::default());
+        assert!(rep.to_string().contains("never-written"));
+    }
+}

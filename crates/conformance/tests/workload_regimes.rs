@@ -1,0 +1,82 @@
+//! Every shape the workload generators emit must land somewhere in the
+//! conformance fuzzer's regime partition — the partition is total, so a
+//! workload shape the fuzzer could never reproduce would be a coverage
+//! hole, not a crash.  Each classified regime must also round-trip: a
+//! shape re-sampled from its own regime classifies back to it.
+
+use conformance::{Regime, Rng64};
+use ftimm::GemmShape;
+use workloads::{
+    gpt2_medium_head_projections, llama_like_head_projections, resnet_layers, vgg16_layers,
+    FemBatch, KmeansInstance,
+};
+
+fn workload_shapes() -> Vec<(String, GemmShape)> {
+    let mut shapes = Vec::new();
+    for batch in [1, 4] {
+        for (i, l) in vgg16_layers().iter().enumerate() {
+            shapes.push((format!("vgg16[{i}]x{batch}"), l.gemm_shape(batch)));
+        }
+        for (i, l) in resnet_layers().iter().enumerate() {
+            shapes.push((format!("resnet[{i}]x{batch}"), l.gemm_shape(batch)));
+        }
+    }
+    for tokens in [16, 512] {
+        for (i, p) in gpt2_medium_head_projections(tokens).iter().enumerate() {
+            shapes.push((format!("gpt2[{i}]t{tokens}"), p.gemm_shape()));
+        }
+        for (i, p) in llama_like_head_projections(tokens).iter().enumerate() {
+            shapes.push((format!("llama[{i}]t{tokens}"), p.gemm_shape()));
+        }
+    }
+    shapes.push((
+        "fem".into(),
+        FemBatch::generate(64, 24, 24, 24, 3).gemm_shape(),
+    ));
+    shapes.push((
+        "kmeans".into(),
+        KmeansInstance::generate(4096, 16, 8, 3).gemm_shape(),
+    ));
+    shapes
+}
+
+#[test]
+fn every_workload_shape_classifies() {
+    let shapes = workload_shapes();
+    assert!(
+        shapes.len() > 40,
+        "workload sweep shrank to {}",
+        shapes.len()
+    );
+    let mut covered = [false; 4];
+    for (name, shape) in &shapes {
+        assert!(
+            shape.m > 0 && shape.n > 0 && shape.k > 0,
+            "{name}: degenerate {shape}"
+        );
+        let regime = Regime::classify(shape);
+        covered[Regime::ALL.iter().position(|&r| r == regime).unwrap()] = true;
+    }
+    // The suite spans convolution, attention, FEM and k-means; together
+    // they must hit more than one regime or the partition is mis-tuned.
+    assert!(
+        covered.iter().filter(|&&c| c).count() >= 2,
+        "workloads collapsed into one regime: {covered:?}"
+    );
+}
+
+#[test]
+fn classified_regimes_round_trip_through_sampling() {
+    let mut rng = Rng64::new(2024);
+    for (name, shape) in workload_shapes() {
+        let regime = Regime::classify(&shape);
+        for _ in 0..20 {
+            let resampled = regime.sample(&mut rng);
+            assert_eq!(
+                Regime::classify(&resampled),
+                regime,
+                "{name}: {shape} -> {regime} resampled {resampled}"
+            );
+        }
+    }
+}

@@ -64,6 +64,28 @@ impl Bundle {
         Ok(())
     }
 
+    /// Add an instruction on a concrete unit **without** checking any
+    /// issue rule (operand shape, unit class, conflicts, side widths).
+    ///
+    /// This exists so correctness tooling can materialise *invalid*
+    /// bundles — e.g. the conformance crate's static verifier is tested
+    /// against deliberately corrupted programs that the checked
+    /// [`Bundle::push`] could never produce.  Production code paths must
+    /// use [`Bundle::push`].
+    pub fn push_unchecked(&mut self, unit: Unit, inst: Instruction) {
+        let pos = self.slots.partition_point(|(u, _)| *u < unit);
+        self.slots.insert(pos, (unit, inst));
+    }
+
+    /// The raw `(unit, instruction)` slots in canonical unit order,
+    /// including any duplicate units smuggled in via
+    /// [`Bundle::push_unchecked`].  [`Bundle::iter`] silently drops
+    /// duplicates (it looks units up one by one), so verification passes
+    /// must walk this instead.
+    pub fn slots(&self) -> &[(Unit, Instruction)] {
+        &self.slots
+    }
+
     /// Add an instruction on the first free unit of its class.
     pub fn push_auto(&mut self, inst: Instruction) -> Result<Unit, IsaError> {
         let class = inst.opcode.unit_class();

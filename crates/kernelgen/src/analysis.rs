@@ -137,18 +137,54 @@ impl fmt::Display for KernelReport {
     }
 }
 
-/// Occupancy check helper for tests and debugging: no unit of a valid
-/// program can exceed 100 %.
-pub fn verify_occupancy(program: &Program) -> bool {
+/// An occupancy violation: a unit that would have to issue more
+/// instructions than the program has cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OccupancyViolation {
+    /// The over-subscribed unit.
+    pub unit: Unit,
+    /// Dynamic instructions issued on that unit.
+    pub issued: u64,
+    /// Total program cycles (the issue capacity of any single unit).
+    pub cycles: u64,
+}
+
+impl fmt::Display for OccupancyViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} issues {} instructions in {} cycles (> 100% occupancy)",
+            self.unit, self.issued, self.cycles
+        )
+    }
+}
+
+/// Occupancy check used by tests, debugging and the conformance crate's
+/// static verifier: no unit of a valid program can exceed 100 %.
+///
+/// Returns the first over-subscribed unit (in [`Unit::ALL`] order) with
+/// its issue count, or `Ok(())` when every unit fits.
+pub fn verify_occupancy(program: &Program) -> Result<(), OccupancyViolation> {
     let report_cycles = program.cycles().max(1);
     let mut counts = [0u64; 12];
-    let ok = program.visit::<()>(&mut |_i, b| {
-        for (u, _) in b.iter() {
-            counts[Unit::ALL.iter().position(|&x| x == u).expect("unit")] += 1;
+    program
+        .visit::<std::convert::Infallible>(&mut |_i, b| {
+            for (u, _) in b.iter() {
+                counts[Unit::ALL.iter().position(|&x| x == u).expect("unit")] += 1;
+            }
+            Ok(())
+        })
+        .unwrap_or_else(|e| match e {});
+    for (i, &unit) in Unit::ALL.iter().enumerate() {
+        if counts[i] > report_cycles {
+            return Err(OccupancyViolation {
+                unit,
+                issued: counts[i],
+                cycles: report_cycles,
+            });
         }
-        Ok(())
-    });
-    ok.is_ok() && counts.iter().all(|&c| c <= report_cycles)
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -199,7 +235,7 @@ mod tests {
     fn occupancy_never_exceeds_one() {
         for (m, k, n) in [(6, 512, 96), (7, 33, 48), (1, 5, 1)] {
             let kn = kernel(m, k, n);
-            assert!(verify_occupancy(&kn.program));
+            verify_occupancy(&kn.program).unwrap_or_else(|v| panic!("{v}"));
             let r = KernelReport::analyse(&kn);
             for (u, o) in &r.unit_occupancy {
                 assert!(*o <= 1.0 + 1e-12, "{u}: {o}");

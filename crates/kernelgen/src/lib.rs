@@ -33,7 +33,7 @@ pub mod regmap;
 pub mod spec;
 pub mod tiling;
 
-pub use analysis::{verify_occupancy, KernelReport};
+pub use analysis::{verify_occupancy, KernelReport, OccupancyViolation};
 pub use build::{build, BlockPlan, MicroKernel};
 pub use cache::KernelCache;
 pub use linesched::LineScheduler;

@@ -1,0 +1,73 @@
+//! The conformance regression suite: replay every persisted mismatch
+//! fixture, run a short seeded fuzz sweep, and statically verify the
+//! kernels the planner actually uses.  See DESIGN.md §6.
+
+use conformance::{replay_dir, run_fuzz, verify_kernel};
+use dspsim::HwConfig;
+use ftimm::FtImm;
+use kernelgen::KernelSpec;
+use std::path::Path;
+
+fn ft() -> FtImm {
+    FtImm::new(HwConfig::default())
+}
+
+/// Every fixture in the corpus must parse and pass.  A failing replay is
+/// a regression of a previously fixed (or triaged) bug.
+#[test]
+fn corpus_replays_clean() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/conformance");
+    let outcomes = replay_dir(&ft(), &dir);
+    assert!(
+        !outcomes.is_empty(),
+        "corpus at {} is empty — seed fixtures missing",
+        dir.display()
+    );
+    let failures: Vec<String> = outcomes
+        .iter()
+        .filter_map(|o| {
+            o.result
+                .as_ref()
+                .err()
+                .map(|why| format!("{}: {why}", o.path.display()))
+        })
+        .collect();
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+}
+
+/// A short seeded sweep (distinct seed from CI's long run) with full
+/// regime coverage and zero mismatches.
+#[test]
+fn seeded_fuzz_sweep_is_mismatch_free() {
+    let summary = run_fuzz(&ft(), 42, 16, |_, _, _| {});
+    assert!(
+        summary.mismatches.is_empty(),
+        "{}",
+        summary
+            .mismatches
+            .iter()
+            .map(|m| m.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(summary.regime_counts.iter().all(|&c| c == 4));
+}
+
+/// The static verifier passes every micro-kernel spec the generator
+/// admits at the paper's block sizes and the awkward remainders.
+#[test]
+fn planner_kernels_verify_clean() {
+    let ft = ft();
+    for (m_s, k_a, n_a) in [
+        (6, 512, 96),
+        (12, 256, 96),
+        (6, 512, 32),
+        (5, 7, 13),
+        (1, 1, 1),
+    ] {
+        let spec = KernelSpec::new(m_s, k_a, n_a).unwrap();
+        let kernel = ft.cache().get(spec).unwrap();
+        let report = verify_kernel(&kernel);
+        assert!(report.is_clean(), "{report}");
+    }
+}
