@@ -2,4 +2,9 @@
 //! Run: `cargo run --release -p bench --bin ablation`
 fn main() {
     print!("{}", bench::ablation::render(&bench::ablation::compute()));
+    println!();
+    print!(
+        "{}",
+        bench::ablation::render_plan_cache(&bench::ablation::compute_plan_cache(8))
+    );
 }

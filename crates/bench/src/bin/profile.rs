@@ -123,7 +123,7 @@ fn main() {
     let prof = report.profile.expect("profiled run carries a profile");
 
     println!(
-        "{}x{}x{}  plan={:?}  cores={}  mode={:?}",
+        "{}x{}x{}  plan={}  cores={}  mode={:?}",
         args.m, args.n, args.k, run.plan, report.cores_used, args.mode
     );
     print_phase_table(&prof);
@@ -163,6 +163,12 @@ fn print_phase_table(prof: &PhaseProfile) {
         if s <= 0.0 {
             continue;
         }
+        if phase == Phase::Plan {
+            // Host-side planning time: outside the device window, so a
+            // share of `total_s` would be meaningless.
+            println!("{:>12} {:>14.6e} {:>8}", phase.name(), s, "(host)");
+            continue;
+        }
         println!(
             "{:>12} {:>14.6e} {:>7.1}%",
             phase.name(),
@@ -188,6 +194,10 @@ fn print_phase_table(prof: &PhaseProfile) {
         .map(|c| format!("{:.0}%", 100.0 * prof.occupancy(c)))
         .collect();
     println!("core occupancy: [{}]", occ.join(" "));
+    println!(
+        "plan cache: {} hits, {} misses, {} evictions",
+        prof.plan_hits, prof.plan_misses, prof.plan_evictions
+    );
     println!(
         "roofline {:.1} GFLOPS, achieved {:.1} GFLOPS ({:.1}% of bound)",
         prof.roofline_gflops,

@@ -1,0 +1,228 @@
+//! Planner report: what the cost-model planner chose for the paper's
+//! representative shapes, how its analytic prediction compares with the
+//! timing-model simulation, and what the plan cache buys on a repeated
+//! shape (cold vs. warm planning wall-clock).
+//!
+//! Not a paper figure — this starts the perf trajectory for the planning
+//! layer itself: `BENCH_planner.json` is emitted by the `planner` binary
+//! and archived by CI, so regressions in planning cost or in the
+//! analytic/simulated agreement are visible over time.
+
+use crate::common::format_table;
+use dspsim::HwConfig;
+use ftimm::{ChosenStrategy, FtImm, GemmShape, Plan, Strategy};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One planned shape.
+#[derive(Debug, Clone, Copy)]
+pub struct Row {
+    /// Shape planned.
+    pub shape: GemmShape,
+    /// The resolved plan (origin, predicted and simulated seconds).
+    pub plan: Plan,
+    /// Wall-clock seconds of the cold `plan_full` call (cache miss:
+    /// analytic ranking plus top-K timing simulations).
+    pub cold_plan_s: f64,
+    /// Wall-clock seconds of the immediate repeat (cache hit).
+    pub warm_plan_s: f64,
+}
+
+impl Row {
+    /// Cold-over-warm planning speedup the cache delivered.
+    pub fn speedup(&self) -> f64 {
+        self.cold_plan_s / self.warm_plan_s.max(1e-9)
+    }
+}
+
+/// The whole report.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// One row per paper shape.
+    pub rows: Vec<Row>,
+}
+
+impl Report {
+    /// The smallest cold/warm speedup across the rows (the CI gate
+    /// asserts on this conservative figure).
+    pub fn min_speedup(&self) -> f64 {
+        self.rows
+            .iter()
+            .map(Row::speedup)
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// The shapes reported on: the paper's type-1 and type-2 extremes, the
+/// type-3 double-irregular case and a regular shape (Fig. 5 / Table IV
+/// territory).
+pub const SHAPES: [(usize, usize, usize); 4] = [
+    (1 << 16, 32, 32),
+    (32, 32, 1 << 16),
+    (20480, 32, 20480),
+    (4096, 512, 4096),
+];
+
+/// Plan every report shape cold and warm on one shared context.
+pub fn compute() -> Report {
+    let ft = FtImm::new(HwConfig::default());
+    let rows = SHAPES
+        .iter()
+        .map(|&(m, n, k)| {
+            let shape = GemmShape::new(m, n, k);
+            let t0 = Instant::now();
+            let plan = ft.plan_full(&shape, Strategy::Auto, 8);
+            let cold_plan_s = t0.elapsed().as_secs_f64();
+            let t1 = Instant::now();
+            let again = ft.plan_full(&shape, Strategy::Auto, 8);
+            let warm_plan_s = t1.elapsed().as_secs_f64();
+            assert_eq!(plan, again, "planning must be deterministic");
+            Row {
+                shape,
+                plan,
+                cold_plan_s,
+                warm_plan_s,
+            }
+        })
+        .collect();
+    Report { rows }
+}
+
+fn strategy_tag(s: &ChosenStrategy) -> &'static str {
+    match s {
+        ChosenStrategy::MPar(_) => "M-par",
+        ChosenStrategy::KPar(_) => "K-par",
+        ChosenStrategy::TGemm => "TGEMM",
+    }
+}
+
+/// Render the printable report table.
+pub fn render(report: &Report) -> String {
+    let rows: Vec<Vec<String>> = report
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.shape.to_string(),
+                strategy_tag(&r.plan.strategy).to_string(),
+                format!("{:.3e}", r.plan.predicted_s),
+                format!("{:.3e}", r.plan.simulated_s),
+                format!("{}", r.plan.candidates),
+                format!("{}", r.plan.simulations),
+                format!("{:.1}ms", r.cold_plan_s * 1e3),
+                format!("{:.1}us", r.warm_plan_s * 1e6),
+                format!("{:.0}x", r.speedup()),
+            ]
+        })
+        .collect();
+    format_table(
+        "Planner — chosen plan, predicted vs simulated seconds, cache speedup (8 cores)",
+        &[
+            "MxNxK",
+            "plan",
+            "predicted_s",
+            "simulated_s",
+            "cands",
+            "sims",
+            "cold",
+            "warm",
+            "speedup",
+        ],
+        &rows,
+    )
+}
+
+/// Serialise the report as the `BENCH_planner.json` document.
+pub fn render_json(report: &Report) -> String {
+    let mut s = String::from("{\n  \"schema\": \"ftimm-bench-planner-v1\",\n  \"rows\": [\n");
+    for (i, r) in report.rows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"m\": {}, \"n\": {}, \"k\": {}, \"plan\": \"{}\", \"origin\": \"{}\", \
+             \"predicted_s\": {:?}, \"simulated_s\": {:?}, \"candidates\": {}, \
+             \"simulations\": {}, \"cold_plan_s\": {:?}, \"warm_plan_s\": {:?}}}",
+            r.shape.m,
+            r.shape.n,
+            r.shape.k,
+            strategy_tag(&r.plan.strategy),
+            r.plan.origin.tag(),
+            r.plan.predicted_s,
+            r.plan.simulated_s,
+            r.plan.candidates,
+            r.plan.simulations,
+            r.cold_plan_s,
+            r.warm_plan_s
+        );
+        s.push_str(if i + 1 < report.rows.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    let _ = writeln!(s, "  ],");
+    let _ = writeln!(s, "  \"min_speedup\": {:?}", report.min_speedup());
+    s.push('}');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    fn cached() -> &'static Report {
+        static P: OnceLock<Report> = OnceLock::new();
+        P.get_or_init(compute)
+    }
+
+    #[test]
+    fn planner_picks_the_paper_strategies_for_the_extreme_types() {
+        let report = cached();
+        let plan_for = |m: usize, n: usize, k: usize| {
+            report
+                .rows
+                .iter()
+                .find(|r| r.shape == GemmShape::new(m, n, k))
+                .unwrap()
+                .plan
+        };
+        assert!(matches!(
+            plan_for(1 << 16, 32, 32).strategy,
+            ChosenStrategy::MPar(_)
+        ));
+        assert!(matches!(
+            plan_for(32, 32, 1 << 16).strategy,
+            ChosenStrategy::KPar(_)
+        ));
+    }
+
+    #[test]
+    fn every_row_was_simulated_and_predicted() {
+        for r in &cached().rows {
+            assert!(r.plan.simulated_s.is_finite(), "{}", r.shape);
+            assert!(r.plan.predicted_s.is_finite(), "{}", r.shape);
+            assert!(r.plan.simulations >= 2, "{}", r.shape);
+        }
+    }
+
+    #[test]
+    fn warm_planning_is_much_faster_than_cold() {
+        // The CI smoke gate asserts 10x; leave headroom here so a loaded
+        // test machine does not flake.
+        assert!(
+            cached().min_speedup() > 5.0,
+            "min speedup {}",
+            cached().min_speedup()
+        );
+    }
+
+    #[test]
+    fn json_document_carries_every_row() {
+        let s = render_json(cached());
+        assert!(s.contains("ftimm-bench-planner-v1"));
+        for r in &cached().rows {
+            assert!(s.contains(&format!("\"m\": {}", r.shape.m)));
+        }
+        assert!(s.contains("min_speedup"));
+    }
+}

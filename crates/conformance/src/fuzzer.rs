@@ -23,7 +23,11 @@
 //! * [`OracleKind::TilingInvariance`] — metamorphic: MPar, KPar and
 //!   TGEMM plans for the same problem each match the f64 oracle;
 //! * [`OracleKind::FaultRecovery`] — a seeded fault plan is injected and
-//!   the resilient path must still produce an oracle-clean result.
+//!   the resilient path must still produce an oracle-clean result;
+//! * [`OracleKind::PlanConsistency`] — planning is deterministic (the
+//!   same request yields the identical [`ftimm::Plan`] twice, with and
+//!   without the memo) and plan-then-execute (`run_plan`) is bitwise
+//!   identical to the one-shot entry point (`gemm`).
 //!
 //! Every case additionally runs the [`crate::verifier`] lint pass over
 //! each micro-kernel its plan pulls from the cache.
@@ -56,11 +60,13 @@ pub enum OracleKind {
     TilingInvariance,
     /// Injected faults are recovered; result still oracle-clean.
     FaultRecovery,
+    /// Planning is deterministic and plan-then-execute ≡ one-shot.
+    PlanConsistency,
 }
 
 impl OracleKind {
     /// All oracles, in round-robin scheduling order.
-    pub const ALL: [OracleKind; 7] = [
+    pub const ALL: [OracleKind; 8] = [
         OracleKind::Reference,
         OracleKind::ModeEquivalence,
         OracleKind::EntryEquivalence,
@@ -68,6 +74,7 @@ impl OracleKind {
         OracleKind::TransposeDuality,
         OracleKind::TilingInvariance,
         OracleKind::FaultRecovery,
+        OracleKind::PlanConsistency,
     ];
 
     /// Stable tag used in fixtures.
@@ -80,6 +87,7 @@ impl OracleKind {
             OracleKind::TransposeDuality => "transpose-duality",
             OracleKind::TilingInvariance => "tiling-invariance",
             OracleKind::FaultRecovery => "fault-recovery",
+            OracleKind::PlanConsistency => "plan-consistency",
         }
     }
 
@@ -225,7 +233,11 @@ pub fn fault_plan_for(fault_seed: u64) -> FaultPlan {
 pub fn generate_case(run_seed: u64, case_index: u64) -> CaseSpec {
     let mut rng = Rng64::for_case(run_seed, case_index);
     let regime = Regime::ALL[(case_index % 4) as usize];
-    let oracle = OracleKind::ALL[(case_index % OracleKind::ALL.len() as u64) as usize];
+    // The oracle index drifts by one every full regime rotation: with 8
+    // oracles and 4 regimes a plain `index % 8` would pin each oracle to
+    // a single regime forever.
+    let oracle =
+        OracleKind::ALL[((case_index + case_index / 4) % OracleKind::ALL.len() as u64) as usize];
     let shape = if oracle == OracleKind::ModeEquivalence {
         sample_for_interpret(regime, &mut rng)
     } else {
@@ -595,6 +607,77 @@ pub fn check_case(ft: &FtImm, case: &CaseSpec) -> Result<(), Mismatch> {
             }
             Ok(())
         }
+        OracleKind::PlanConsistency => {
+            // Determinism: the planning pipeline, run twice bypassing
+            // the memo, must produce the identical plan — and the
+            // memoised entry point must agree with it.
+            let planner = ftimm::Planner::new(ft.cache(), ft.cfg());
+            let d1 = planner.plan(&case.shape, case.strategy, case.cores, |c| {
+                ft.predict_seconds(&case.shape, c, case.cores)
+            });
+            let d2 = planner.plan(&case.shape, case.strategy, case.cores, |c| {
+                ft.predict_seconds(&case.shape, c, case.cores)
+            });
+            if d1 != d2 {
+                return Err(mismatch(
+                    case,
+                    format!("planning not deterministic: {d1:?} vs {d2:?}"),
+                ));
+            }
+            let memo = ft.plan_full(&case.shape, case.strategy, case.cores);
+            if memo != d1 {
+                return Err(mismatch(
+                    case,
+                    format!("memoised plan diverges from fresh plan: {memo:?} vs {d1:?}"),
+                ));
+            }
+
+            // Plan-then-execute must be bitwise identical (result and
+            // simulated time) to the one-shot entry point.
+            let mut m1 = Machine::with_mode(ExecMode::Fast);
+            let staged1 = stage(&mut m1, &case.shape, case.seed, false)
+                .map_err(|e| mismatch(case, format!("staging failed: {e}")))?;
+            let r1 = ft
+                .run_plan(&mut m1, &staged1.problem, &memo.strategy, case.cores)
+                .map_err(|e| mismatch(case, format!("run_plan failed: {e}")))?;
+            let c1 = staged1
+                .problem
+                .c
+                .download(&mut m1)
+                .map_err(|e| mismatch(case, format!("download failed: {e}")))?;
+
+            let mut m2 = Machine::with_mode(ExecMode::Fast);
+            let staged2 = stage(&mut m2, &case.shape, case.seed, false)
+                .map_err(|e| mismatch(case, format!("staging failed: {e}")))?;
+            let (r2, used) = ft
+                .gemm(&mut m2, &staged2.problem, case.strategy, case.cores)
+                .map_err(|e| mismatch(case, format!("gemm failed: {e}")))?;
+            if used.strategy != memo.strategy {
+                return Err(mismatch(
+                    case,
+                    format!(
+                        "one-shot resolved {:?}, plan-then-execute used {:?}",
+                        used.strategy, memo.strategy
+                    ),
+                ));
+            }
+            let c2 = staged2
+                .problem
+                .c
+                .download(&mut m2)
+                .map_err(|e| mismatch(case, format!("download failed: {e}")))?;
+            compare_bitwise(case, "plan-then-execute vs one-shot", &c1, &c2)?;
+            if (r1.seconds - r2.seconds).abs() > 1e-15 {
+                return Err(mismatch(
+                    case,
+                    format!(
+                        "simulated time diverges: plan-then-execute {} vs one-shot {}",
+                        r1.seconds, r2.seconds
+                    ),
+                ));
+            }
+            Ok(())
+        }
         OracleKind::FaultRecovery => {
             let plan = fault_plan_for(case.fault_seed.unwrap_or(1));
             let (c, _, staged) = run_simple(
@@ -626,7 +709,7 @@ pub struct FuzzSummary {
     /// Cases executed per regime, indexed parallel to [`Regime::ALL`].
     pub regime_counts: [usize; 4],
     /// Cases executed per oracle, indexed parallel to [`OracleKind::ALL`].
-    pub oracle_counts: [usize; 7],
+    pub oracle_counts: [usize; 8],
     /// Shrunk mismatches, in discovery order.
     pub mismatches: Vec<Mismatch>,
 }

@@ -15,7 +15,7 @@
 //! * [`corpus`] — JSON persistence for shrunk failures, replayed as a
 //!   deterministic regression suite (`tests/fixtures/conformance/`).
 //!
-//! See DESIGN.md §6 for the architecture and the fixture schema.
+//! See DESIGN.md §7 for the architecture and the fixture schema.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

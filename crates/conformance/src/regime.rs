@@ -30,8 +30,9 @@ pub enum Regime {
 const LARGE: usize = 256;
 /// A dimension must exceed the other by this factor to dominate.
 const DOMINANT: usize = 4;
-/// `K` at or below this is "tiny".
-const TINY_K: usize = 8;
+/// `K` at or below this is "tiny" — shared with the core's shape
+/// taxonomy so the sampler and the planner agree on the boundary.
+const TINY_K: usize = ftimm::TINY_K_MAX;
 
 impl Regime {
     /// All regimes, in the coverage-table row order.

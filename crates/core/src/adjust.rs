@@ -2,7 +2,8 @@
 //! initial block sizes, runtime block shrinking/growing to the matrix
 //! shape, and parallelisation-strategy selection.
 
-use crate::{GemmShape, IrregularType, KparBlocks, MparBlocks};
+use crate::shape::{BLOCK_ALIGN, MAX_MICROKERNEL_ROWS, MIN_MICROKERNEL_ROWS};
+use crate::{GemmShape, KparBlocks, MparBlocks};
 use dspsim::HwConfig;
 use kernelgen::{KernelCache, KernelSpec, MAX_NA};
 
@@ -27,8 +28,15 @@ pub fn cmr_f4(m_a: f64, k_a: f64, n_a: f64, cores: f64) -> f64 {
     2.0 * m_a * k_a * n_a * cores / (cores * k_a * (m_a + n_a) + 2.0 * m_a * n_a)
 }
 
-fn pad32(n: usize) -> usize {
-    n.div_ceil(32) * 32
+pub(crate) fn pad32(n: usize) -> usize {
+    n.div_ceil(BLOCK_ALIGN) * BLOCK_ALIGN
+}
+
+/// AM capacity envelope shared by both strategies' block searches (and
+/// the planner's grid variants): `m_a + 2·k_a` must stay within this
+/// many column-padded rows.
+pub(crate) fn am_budget(cfg: &HwConfig, n_a: usize) -> usize {
+    cfg.am_bytes / (4 * pad32(n_a))
 }
 
 /// Largest micro-kernel height whose double-buffered `A_s` panel fits SM.
@@ -39,14 +47,14 @@ fn ms_sm_cap(cfg: &HwConfig, k_a: usize) -> usize {
 /// Largest `k_a` that still lets an `m_s = 6` kernel fit SM (the paper's
 /// `m_s ≥ 6` rule takes priority over deeper panels).
 fn ka_sm_cap(cfg: &HwConfig) -> usize {
-    (cfg.sm_bytes / (2 * 4 * 6)) / 32 * 32
+    (cfg.sm_bytes / (2 * 4 * MIN_MICROKERNEL_ROWS)) / BLOCK_ALIGN * BLOCK_ALIGN
 }
 
 /// Pick the micro-kernel height: the largest `m_s` that fits the
 /// double-buffered SM budget and whose generated kernel is within 1 % of
 /// the best efficiency; divisors of `m_a` are preferred (no m-tail).
 fn pick_ms(cache: &KernelCache, cfg: &HwConfig, m_a: usize, k_a: usize, n_a: usize) -> usize {
-    let ms_max = ms_sm_cap(cfg, k_a).min(14);
+    let ms_max = ms_sm_cap(cfg, k_a).min(MAX_MICROKERNEL_ROWS);
     let mut best_eff = 0.0f64;
     let mut effs = Vec::new();
     for m_s in 1..=ms_max {
@@ -76,7 +84,7 @@ fn pick_ms(cache: &KernelCache, cfg: &HwConfig, m_a: usize, k_a: usize, n_a: usi
 pub fn initial_mpar(cache: &KernelCache, cfg: &HwConfig, cores: usize) -> MparBlocks {
     let n_a = MAX_NA;
     let n_g = MAX_NA;
-    let budget = cfg.am_bytes / (4 * pad32(n_a)); // m_a + 2·k_a ≤ budget
+    let budget = am_budget(cfg, n_a); // m_a + 2·k_a ≤ budget
     let mut best = (0.0f64, 32usize, 32usize);
     let mut k_a = 32;
     while 2 * k_a + 32 <= budget {
@@ -108,7 +116,7 @@ pub fn initial_mpar(cache: &KernelCache, cfg: &HwConfig, cores: usize) -> MparBl
 /// `C_g` panel once; AM as in M-par).
 pub fn initial_kpar(cache: &KernelCache, cfg: &HwConfig, cores: usize) -> KparBlocks {
     let n_a = MAX_NA;
-    let budget = cfg.am_bytes / (4 * pad32(n_a));
+    let budget = am_budget(cfg, n_a);
     let mut best = (0.0f64, 32usize, 32usize);
     let mut k_a = 32;
     while 2 * k_a + 32 <= budget {
@@ -158,7 +166,7 @@ pub fn adjust_mpar(
 ) -> MparBlocks {
     let n_a = shape.n.min(MAX_NA);
     let n_g = n_a;
-    let budget = cfg.am_bytes / (4 * pad32(n_a));
+    let budget = am_budget(cfg, n_a);
     // Re-run the CMR search with the freed budget and the real K; k_a is
     // capped so an m_s ≥ 6 A_s panel still double-buffers in SM.
     let ka_cap = ka_sm_cap(cfg);
@@ -186,8 +194,8 @@ pub fn adjust_mpar(
         m_a = per_core.div_ceil(32).max(1) * 32;
     }
     m_a = m_a.min(budget.saturating_sub(2 * 32).max(32));
-    let m_s = if shape.m >= 6 {
-        pick_ms(cache, cfg, m_a, k_a, n_a).max(6.min(m_a))
+    let m_s = if shape.m >= MIN_MICROKERNEL_ROWS {
+        pick_ms(cache, cfg, m_a, k_a, n_a).max(MIN_MICROKERNEL_ROWS.min(m_a))
     } else {
         shape.m
     };
@@ -213,7 +221,7 @@ pub fn adjust_kpar(
     let init = initial_kpar(cache, cfg, cores);
     let n_a = shape.n.min(MAX_NA);
     let n_g = n_a;
-    let budget = cfg.am_bytes / (4 * pad32(n_a));
+    let budget = am_budget(cfg, n_a);
     let mut m_a = init.m_a.min(shape.m.div_ceil(32) * 32).max(32);
     // Grow the parallel (K) dimension block as far as the AM budget, the
     // SM budget (m_s ≥ 6 must still fit) and balance allow.
@@ -231,8 +239,8 @@ pub fn adjust_kpar(
         .min(shape.m.div_ceil(32) * 32)
         .max(32.min(budget.saturating_sub(2 * k_a).max(1)));
     let m_g = init.m_g.min(shape.m.next_power_of_two()).max(1);
-    let m_s = if shape.m >= 6 {
-        pick_ms(cache, cfg, m_a, k_a, n_a).max(6.min(m_a.min(shape.m)))
+    let m_s = if shape.m >= MIN_MICROKERNEL_ROWS {
+        pick_ms(cache, cfg, m_a, k_a, n_a).max(MIN_MICROKERNEL_ROWS.min(m_a.min(shape.m)))
     } else {
         shape.m
     };
@@ -255,25 +263,6 @@ pub enum ChosenStrategy {
     KPar(KparBlocks),
     /// Traditional fixed-block GEMM (shapes outside the irregular scope).
     TGemm,
-}
-
-/// Rule-based strategy selection (§IV-C): M-par when `N ≤ n_a` and M is
-/// large; K-par when M is small and K is large; TGEMM otherwise.
-pub fn choose_strategy(
-    cache: &KernelCache,
-    cfg: &HwConfig,
-    shape: &GemmShape,
-    cores: usize,
-) -> ChosenStrategy {
-    match shape.classify() {
-        IrregularType::Regular => ChosenStrategy::TGemm,
-        IrregularType::SkinnyTallTimesTallSkinny => {
-            ChosenStrategy::KPar(adjust_kpar(cache, cfg, shape, cores))
-        }
-        IrregularType::TallSkinnyTimesSmall
-        | IrregularType::RegularTimesTallSkinny
-        | IrregularType::Small => ChosenStrategy::MPar(adjust_mpar(cache, cfg, shape, cores)),
-    }
 }
 
 #[cfg(test)]
@@ -367,16 +356,6 @@ mod tests {
         let bk = adjust_kpar(&cache, &cfg, &shape, 8);
         assert!(bk.k_a * 8 <= (1 << 16) + bk.k_a * 8, "sane");
         assert!(bk.n_a == 32);
-    }
-
-    #[test]
-    fn strategy_rules_follow_the_paper() {
-        let (cache, cfg) = setup();
-        let pick = |m, n, k| choose_strategy(&cache, &cfg, &GemmShape::new(m, n, k), 8);
-        assert!(matches!(pick(1 << 16, 32, 32), ChosenStrategy::MPar(_)));
-        assert!(matches!(pick(32, 32, 1 << 16), ChosenStrategy::KPar(_)));
-        assert!(matches!(pick(20480, 32, 20480), ChosenStrategy::MPar(_)));
-        assert!(matches!(pick(4096, 512, 4096), ChosenStrategy::TGemm));
     }
 
     #[test]

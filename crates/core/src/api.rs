@@ -1,6 +1,7 @@
 //! The public ftIMM entry point.
 
-use crate::{adjust, resilience, ChosenStrategy, Executor, FtimmError, GemmProblem, GemmShape};
+use crate::plan::{Plan, PlanCache, PlanCacheStats, PlanKey, Planner, DEFAULT_PLAN_CACHE_CAPACITY};
+use crate::{resilience, ChosenStrategy, Executor, FtimmError, GemmProblem, GemmShape};
 use dspsim::{ExecMode, HwConfig, Machine, RunReport, SimError};
 use kernelgen::KernelCache;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -28,17 +29,32 @@ pub enum Strategy {
 pub struct FtImm {
     cfg: HwConfig,
     cache: Arc<KernelCache>,
+    /// Memo of resolved plans: repeated shapes plan by lookup, without
+    /// re-running the cost model or the timing simulations.
+    plan_cache: PlanCache,
+    /// Timing-model candidate evaluations performed over this context's
+    /// lifetime (cache hits perform none).
+    timing_simulations: AtomicU64,
     /// Shapes the planner failed to evaluate (capacity or generation
     /// limits): each counted evaluation returned `f64::INFINITY`.
     planning_failures: AtomicU64,
 }
 
 impl FtImm {
-    /// Create a context for the given hardware.
+    /// Create a context for the given hardware, with the default plan
+    /// cache capacity.
     pub fn new(cfg: HwConfig) -> Self {
+        FtImm::with_plan_cache_capacity(cfg, DEFAULT_PLAN_CACHE_CAPACITY)
+    }
+
+    /// Create a context with an explicit plan cache capacity (`0`
+    /// disables plan memoisation — every call plans from scratch).
+    pub fn with_plan_cache_capacity(cfg: HwConfig, capacity: usize) -> Self {
         FtImm {
             cache: Arc::new(KernelCache::new(cfg.clone())),
             cfg,
+            plan_cache: PlanCache::new(capacity),
+            timing_simulations: AtomicU64::new(0),
             planning_failures: AtomicU64::new(0),
         }
     }
@@ -53,46 +69,45 @@ impl FtImm {
         &self.cfg
     }
 
-    /// Resolve a strategy for a shape (without running anything).
-    pub fn plan(&self, shape: &GemmShape, strategy: Strategy, cores: usize) -> ChosenStrategy {
-        match strategy {
-            Strategy::MPar => {
-                ChosenStrategy::MPar(adjust::adjust_mpar(&self.cache, &self.cfg, shape, cores))
-            }
-            Strategy::KPar => {
-                ChosenStrategy::KPar(adjust::adjust_kpar(&self.cache, &self.cfg, shape, cores))
-            }
-            Strategy::TGemm => ChosenStrategy::TGemm,
-            Strategy::Rules => adjust::choose_strategy(&self.cache, &self.cfg, shape, cores),
-            Strategy::Auto => {
-                // Evaluate the rule choice and its alternative on the
-                // timing model; keep the faster plan.  This realises the
-                // paper's "automatically choose the optimal block sizes
-                // and parallelisation strategy".  Beyond the paper: for
-                // N > 96 the M-parallel strategy (iterating 96-wide column
-                // panels) is also evaluated — TGEMM's N-parallelism leaves
-                // cores idle whenever N spans fewer chunks than cores.
-                let rule = adjust::choose_strategy(&self.cache, &self.cfg, shape, cores);
-                let alt = match rule {
-                    ChosenStrategy::MPar(_) => ChosenStrategy::KPar(adjust::adjust_kpar(
-                        &self.cache,
-                        &self.cfg,
-                        shape,
-                        cores,
-                    )),
-                    ChosenStrategy::KPar(_) | ChosenStrategy::TGemm => ChosenStrategy::MPar(
-                        adjust::adjust_mpar(&self.cache, &self.cfg, shape, cores),
-                    ),
-                };
-                let t_rule = self.predict_seconds(shape, &rule, cores);
-                let t_alt = self.predict_seconds(shape, &alt, cores);
-                if t_alt < t_rule {
-                    alt
-                } else {
-                    rule
-                }
-            }
+    /// Hit/miss/eviction counters of the shared plan cache.
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.plan_cache.stats()
+    }
+
+    /// Timing-model candidate evaluations performed so far.  A warm plan
+    /// cache keeps this flat: planning a cached shape simulates nothing.
+    pub fn timing_simulations(&self) -> u64 {
+        self.timing_simulations.load(Ordering::Relaxed)
+    }
+
+    /// Resolve a full [`Plan`] for a shape without running anything,
+    /// memoised in the plan cache.
+    ///
+    /// On a miss the [`Planner`] ranks the candidate space with the
+    /// analytic cost model and evaluates only the short list on the
+    /// timing model ([`FtImm::predict_seconds`]); on a hit the stored
+    /// plan is returned as-is — zero simulations.
+    pub fn plan_full(&self, shape: &GemmShape, strategy: Strategy, cores: usize) -> Plan {
+        let key = PlanKey {
+            shape: *shape,
+            cores,
+            strategy,
+        };
+        if let Some(plan) = self.plan_cache.get(&key) {
+            return plan;
         }
+        let plan = Planner::new(&self.cache, &self.cfg).plan(shape, strategy, cores, |cand| {
+            self.timing_simulations.fetch_add(1, Ordering::Relaxed);
+            self.predict_seconds(shape, cand, cores)
+        });
+        self.plan_cache.insert(key, plan);
+        plan
+    }
+
+    /// Resolve a strategy for a shape (without running anything): the
+    /// [`ChosenStrategy`] of [`FtImm::plan_full`].
+    pub fn plan(&self, shape: &GemmShape, strategy: Strategy, cores: usize) -> ChosenStrategy {
+        self.plan_full(shape, strategy, cores).strategy
     }
 
     /// Predicted execution time of a plan on the timing model.
@@ -177,7 +192,7 @@ impl FtImm {
         strategy: Strategy,
         cores: usize,
         rcfg: &resilience::ResilienceConfig,
-    ) -> Result<(RunReport, ChosenStrategy), FtimmError> {
+    ) -> Result<(RunReport, Plan), FtimmError> {
         let run = Executor::new(self)
             .strategy(strategy)
             .cores(cores)
@@ -194,7 +209,7 @@ impl FtImm {
         p: &GemmProblem,
         strategy: Strategy,
         cores: usize,
-    ) -> Result<(RunReport, ChosenStrategy), FtimmError> {
+    ) -> Result<(RunReport, Plan), FtimmError> {
         let run = Executor::new(self)
             .strategy(strategy)
             .cores(cores)
@@ -261,6 +276,32 @@ mod tests {
         assert_eq!(ft.planning_failures(), 0);
         assert_eq!(ft.predict_seconds(&huge, &plan, 8), f64::INFINITY);
         assert_eq!(ft.planning_failures(), 1);
+    }
+
+    #[test]
+    fn cached_auto_plans_skip_simulation() {
+        let ft = FtImm::new(HwConfig::default());
+        let shape = GemmShape::new(4096, 32, 256);
+        let cold = ft.plan_full(&shape, Strategy::Auto, 8);
+        assert!(cold.simulations > 0);
+        let sims = ft.timing_simulations();
+        assert!(sims >= u64::from(cold.simulations));
+        let warm = ft.plan_full(&shape, Strategy::Auto, 8);
+        assert_eq!(warm, cold, "cache returns the identical plan");
+        assert_eq!(ft.timing_simulations(), sims, "warm plan simulates nothing");
+        assert_eq!(ft.plan_cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn zero_capacity_context_replans_every_call() {
+        let ft = FtImm::with_plan_cache_capacity(HwConfig::default(), 0);
+        let shape = GemmShape::new(4096, 32, 256);
+        let first = ft.plan_full(&shape, Strategy::Auto, 8);
+        let sims = ft.timing_simulations();
+        let second = ft.plan_full(&shape, Strategy::Auto, 8);
+        assert_eq!(first, second, "planning is deterministic");
+        assert!(ft.timing_simulations() > sims);
+        assert_eq!(ft.plan_cache_stats().hits, 0);
     }
 
     #[test]

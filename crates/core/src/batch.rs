@@ -7,6 +7,7 @@
 //! batch-shaped API, plans it once, and reports per-element statistics.
 
 use crate::exec::validate_batch_dims;
+use crate::plan::Plan;
 use crate::{
     resilience::ResilienceConfig, Executor, FtImm, FtimmError, GemmProblem, GemmShape, Strategy,
 };
@@ -31,6 +32,8 @@ pub struct GemmBatch {
 pub struct BatchReport {
     /// The underlying flat-run report.
     pub run: RunReport,
+    /// The plan the executor resolved for the flat GEMM.
+    pub plan: Plan,
     /// Fault and recovery counters for the run (a copy of `run.faults`,
     /// surfaced at batch level so callers checking batch health need not
     /// reach into the flat report).
@@ -81,6 +84,7 @@ impl GemmBatch {
         machine: &mut Machine,
         p: &GemmProblem,
         run: RunReport,
+        plan: Plan,
         out: &mut [f32],
     ) -> Result<BatchReport, FtimmError> {
         if machine.mode.is_functional() {
@@ -89,6 +93,7 @@ impl GemmBatch {
         }
         Ok(BatchReport {
             run,
+            plan,
             faults: run.faults,
             seconds_per_element: run.seconds / self.count as f64,
         })
@@ -112,8 +117,9 @@ impl GemmBatch {
         let run = Executor::new(ft)
             .strategy(strategy)
             .cores(cores)
-            .run(machine, &p)?;
-        self.finish(machine, &p, run, out)
+            .dispatch(machine, &p)?;
+        let plan = run.plan;
+        self.finish(machine, &p, run.result?, plan, out)
     }
 
     /// Execute the batch under the resilience layer (ABFT-checked,
@@ -136,8 +142,9 @@ impl GemmBatch {
             .strategy(strategy)
             .cores(cores)
             .resilient(*rcfg)
-            .run(machine, &p)?;
-        self.finish(machine, &p, run, out)
+            .dispatch(machine, &p)?;
+        let plan = run.plan;
+        self.finish(machine, &p, run.result?, plan, out)
     }
 }
 

@@ -28,10 +28,10 @@
 //! which jobs trip deadlines, when breakers open and close — is exactly
 //! reproducible for a given job sequence and fault plan.
 
+use crate::plan::Plan;
 use crate::resilience::ResilienceConfig;
 use crate::{
-    BatchReport, ChosenStrategy, Executor, FtImm, FtimmError, GemmBatch, GemmProblem, GemmShape,
-    Strategy,
+    BatchReport, Executor, FtImm, FtimmError, GemmBatch, GemmProblem, GemmShape, Strategy,
 };
 use dspsim::{Machine, RunReport};
 
@@ -152,7 +152,7 @@ pub enum JobOutcome {
         /// The resilient run's report.
         report: Box<RunReport>,
         /// The plan the engine resolved for the final attempt.
-        plan: ChosenStrategy,
+        plan: Plan,
         /// Updated stacked accumulator (batch jobs only).
         out: Option<Vec<f32>>,
         /// Batch statistics (batch jobs only).
@@ -498,6 +498,7 @@ impl JobQueue {
                             }
                             let br = BatchReport {
                                 run: report,
+                                plan,
                                 faults: report.faults,
                                 seconds_per_element: report.seconds / batch.count as f64,
                             };

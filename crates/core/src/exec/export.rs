@@ -41,6 +41,9 @@ pub fn profile_json(prof: &PhaseProfile) -> String {
     let _ = writeln!(s, "  \"overlap_frac\": {:?},", prof.overlap_frac());
     let _ = writeln!(s, "  \"roofline_gflops\": {:?},", prof.roofline_gflops);
     let _ = writeln!(s, "  \"achieved_gflops\": {:?},", prof.achieved_gflops);
+    let _ = writeln!(s, "  \"plan_hits\": {},", prof.plan_hits);
+    let _ = writeln!(s, "  \"plan_misses\": {},", prof.plan_misses);
+    let _ = writeln!(s, "  \"plan_evictions\": {},", prof.plan_evictions);
     let _ = writeln!(s, "  \"spans\": {},", prof.spans);
     let _ = writeln!(s, "  \"events\": {},", prof.events);
     let _ = writeln!(s, "  \"dropped\": {}", prof.dropped);
@@ -90,6 +93,9 @@ pub fn profile_from_json(text: &str) -> Result<PhaseProfile, String> {
             }
             "roofline_gflops" => prof.roofline_gflops = v.as_f64("roofline_gflops")?,
             "achieved_gflops" => prof.achieved_gflops = v.as_f64("achieved_gflops")?,
+            "plan_hits" => prof.plan_hits = v.as_u64("plan_hits")?,
+            "plan_misses" => prof.plan_misses = v.as_u64("plan_misses")?,
+            "plan_evictions" => prof.plan_evictions = v.as_u64("plan_evictions")?,
             "spans" => prof.spans = v.as_u64("spans")?,
             "events" => prof.events = v.as_u64("events")?,
             "dropped" => prof.dropped = v.as_u64("dropped")?,
@@ -103,9 +109,14 @@ pub fn profile_from_json(text: &str) -> Result<PhaseProfile, String> {
 }
 
 /// The trace thread a span or event renders on: each physical core gets
-/// a compute track (`2·core`) and a DMA-engine track (`2·core + 1`).
+/// a compute track (`2·core`) and a DMA-engine track (`2·core + 1`);
+/// host-side planning gets one dedicated track above all core tracks.
+const PLANNER_TID: usize = 2 * PROFILE_CORES;
+
 fn span_tid(phase: Phase, core: usize) -> usize {
-    if phase.is_data_movement() {
+    if phase == Phase::Plan {
+        PLANNER_TID
+    } else if phase.is_data_movement() {
         2 * core + 1
     } else {
         2 * core
@@ -140,12 +151,17 @@ pub fn chrome_trace_json(profiler: &Profiler) -> String {
          \"args\":{{\"name\":\"ftimm dspsim cluster\"}}}}"
     );
     for &tid in &tids {
-        let side = if tid % 2 == 0 { "compute" } else { "dma" };
+        let name = if tid == PLANNER_TID {
+            "planner".to_string()
+        } else {
+            let side = if tid % 2 == 0 { "compute" } else { "dma" };
+            format!("core{} {side}", tid / 2)
+        };
         let _ = write!(
             s,
             ",\n{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\
-             \"args\":{{\"name\":\"core{} {side}\"}}}}",
-            tid / 2
+             \"args\":{{\"name\":{}}}}}",
+            quote(&name)
         );
     }
     for sp in profiler.spans() {
@@ -196,6 +212,10 @@ mod tests {
         let mut prof = p.aggregate();
         prof.roofline_gflops = 345.6;
         prof.achieved_gflops = 123.456789;
+        prof.phase_s[Phase::Plan.index()] = 4.2e-5;
+        prof.plan_hits = 7;
+        prof.plan_misses = 2;
+        prof.plan_evictions = 1;
         prof
     }
 
@@ -257,5 +277,31 @@ mod tests {
         assert_eq!(events[4].get("tid").unwrap().as_u64("tid").unwrap(), 5);
         let dur = events[3].get("dur").unwrap().as_f64("dur").unwrap();
         assert!((dur - 1.0).abs() < 1e-9, "1 µs span, got {dur}");
+    }
+
+    #[test]
+    fn plan_spans_render_on_a_dedicated_planner_track() {
+        let mut p = Profiler::enabled(64);
+        p.record(Span {
+            phase: Phase::Plan,
+            core: 0,
+            t0: 0.0,
+            t1: 5e-7,
+        });
+        let text = chrome_trace_json(&p);
+        let v = Parser::new(&text).parse().unwrap();
+        let events = v.get("traceEvents").unwrap().as_arr("traceEvents").unwrap();
+        // process_name + planner thread_name + the span itself.
+        assert_eq!(events.len(), 3);
+        let name = events[1]
+            .get("args")
+            .unwrap()
+            .get("name")
+            .unwrap()
+            .as_str("name")
+            .unwrap();
+        assert_eq!(name, "planner");
+        let tid = events[2].get("tid").unwrap().as_u64("tid").unwrap();
+        assert_eq!(tid as usize, PLANNER_TID);
     }
 }

@@ -6,9 +6,12 @@
 //! [`Executor`] owns that sequence once, layered as:
 //!
 //! 1. **validate** — shared problem validation ([`validate_problem`]);
-//! 2. **plan** — resolve a [`ChosenStrategy`] from the requested
-//!    [`Strategy`] (or accept a pre-resolved plan), which pulls generated
+//! 2. **plan** — resolve a [`Plan`] from the requested [`Strategy`]
+//!    through the context's memoising plan cache and cost-model planner
+//!    (or pin a pre-resolved strategy), which pulls generated
 //!    micro-kernels through the shared [`kernelgen::KernelCache`];
+//!    planning time is recorded as a [`dspsim::Phase::Plan`] span when
+//!    profiling;
 //! 3. **guard** — arm the simulator watchdog for the caller's deadline
 //!    and hung-DMA budget, on the simulated clock;
 //! 4. **run** — drive the strategy runner directly, or through the
@@ -29,12 +32,13 @@ mod validate;
 pub use export::{chrome_trace_json, profile_from_json, profile_json};
 pub use validate::{validate_batch_dims, validate_problem};
 
+use crate::plan::Plan;
 use crate::resilience::{run_resilient_full, ResilienceConfig};
 use crate::{
     run_kpar, run_mpar, run_tgemm, ChosenStrategy, FtImm, FtimmError, GemmProblem, GemmShape,
     Strategy, TgemmParams,
 };
-use dspsim::{Machine, Profiler, RunReport, WatchdogConfig, DEFAULT_PROFILE_CAPACITY};
+use dspsim::{Machine, Phase, Profiler, RunReport, WatchdogConfig, DEFAULT_PROFILE_CAPACITY};
 
 /// Knobs for one executor dispatch.  Built through the [`Executor`]'s
 /// setter methods; the defaults reproduce a plain `Strategy::Auto` run.
@@ -81,8 +85,9 @@ impl Default for ExecOptions {
 pub struct ExecRun {
     /// The run report, or the terminal error of a run that started.
     pub result: Result<RunReport, FtimmError>,
-    /// The plan the executor resolved (or was handed).
-    pub plan: ChosenStrategy,
+    /// The plan the executor resolved (or, for a pre-resolved strategy,
+    /// pinned).
+    pub plan: Plan,
     /// `C` rows verified before the run ended (resilient runs; a plain
     /// successful run counts every row).
     pub rows_verified: usize,
@@ -210,19 +215,31 @@ impl<'a> Executor<'a> {
         }
 
         let shape = GemmShape::new(p.m(), p.n(), p.k());
+        let plan_t0 = std::time::Instant::now();
         let plan = match self.opts.plan {
-            Some(plan) => plan,
-            None => self.ft.plan(&shape, self.opts.strategy, self.opts.cores),
+            Some(strategy) => Plan::pinned(shape, self.opts.cores, strategy),
+            None => self
+                .ft
+                .plan_full(&shape, self.opts.strategy, self.opts.cores),
         };
+        if self.opts.profile {
+            // Host wall-clock planning time, anchored at the current
+            // simulated instant.  `Phase::Plan` spans are excluded from
+            // the profile's busy/window accounting, so recording one
+            // keeps a profiled run bit-exact with an unprofiled one.
+            let dt = plan_t0.elapsed().as_secs_f64();
+            let now = m.elapsed();
+            m.record_span(0, Phase::Plan, now, now + dt);
+        }
 
         let (result, rows_verified, rows_total, fault_cores) = match &self.opts.resilience {
             None => {
-                let r = run_resolved(self.ft, m, p, &plan, self.opts.cores);
+                let r = run_resolved(self.ft, m, p, &plan.strategy, self.opts.cores);
                 let verified = if r.is_ok() { p.m() } else { 0 };
                 (r, verified, p.m(), Vec::new())
             }
             Some(rcfg) => {
-                let run = run_resilient_full(self.ft, m, p, &plan, self.opts.cores, rcfg);
+                let run = run_resilient_full(self.ft, m, p, &plan.strategy, self.opts.cores, rcfg);
                 (
                     run.result,
                     run.rows_verified,
@@ -238,7 +255,7 @@ impl<'a> Executor<'a> {
         let profiler = self.opts.profile.then(|| m.profile_end());
         let result = result.map(|mut rep| {
             if let Some(pr) = &profiler {
-                rep.profile = Some(profile::finish(self.ft.cfg(), &shape, pr, &rep));
+                rep.profile = Some(profile::finish(self.ft, &shape, pr, &rep));
             }
             rep
         });

@@ -1,20 +1,25 @@
 //! Profile finishing: fold the raw span recording into a
 //! [`PhaseProfile`] and fill the model-level fields (roofline prediction,
-//! achieved rate) only the executor knows.
+//! achieved rate, plan-cache counters) only the executor knows.
 
-use crate::{roofline, GemmShape};
-use dspsim::{HwConfig, PhaseProfile, Profiler, RunReport};
+use crate::{roofline, FtImm, GemmShape};
+use dspsim::{PhaseProfile, Profiler, RunReport};
 
 /// Aggregate `profiler`'s spans and complete the profile with the
-/// roofline-predicted and achieved GFLOPS of the finished run.
+/// roofline-predicted and achieved GFLOPS of the finished run, plus the
+/// context's lifetime plan-cache counters.
 pub(crate) fn finish(
-    cfg: &HwConfig,
+    ft: &FtImm,
     shape: &GemmShape,
     profiler: &Profiler,
     rep: &RunReport,
 ) -> PhaseProfile {
     let mut prof = profiler.aggregate();
-    prof.roofline_gflops = roofline::roofline_gflops(cfg, shape, rep.cores_used);
+    prof.roofline_gflops = roofline::roofline_gflops(ft.cfg(), shape, rep.cores_used);
     prof.achieved_gflops = rep.gflops();
+    let stats = ft.plan_cache_stats();
+    prof.plan_hits = stats.hits;
+    prof.plan_misses = stats.misses;
+    prof.plan_evictions = stats.evictions;
     prof
 }

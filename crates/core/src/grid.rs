@@ -10,7 +10,7 @@ use crate::{FtImm, FtimmError, GemmProblem, GemmShape, Strategy};
 use dspsim::{ExecMode, HwConfig, Machine, RunReport};
 
 /// Host-side dispatch + cache-coherency cost per cluster launch
-/// (invented, documented in DESIGN.md §7).
+/// (invented, documented in DESIGN.md §8).
 pub const LAUNCH_OVERHEAD_S: f64 = 50e-6;
 
 /// A grid of independent GPDSP clusters.

@@ -10,8 +10,9 @@
 //! * [`mpar`]: ftIMM's M-dimension parallelisation (Algorithm 4);
 //! * [`kpar`]: ftIMM's K-dimension parallelisation with GSM reduction
 //!   (Algorithm 5);
-//! * [`adjust`]: dynamic adjusting — CMR-driven block sizes (Eq. 1–4) and
-//!   strategy selection;
+//! * [`adjust`]: dynamic adjusting — CMR-driven block sizes (Eq. 1–4);
+//! * [`plan`]: the Plan IR — cost-model planner, strategy selection and
+//!   the memoizing plan cache every entry point routes through;
 //! * [`roofline`]: the roofline bound used in the paper's Fig 5;
 //! * [`api::FtImm`]: the user-facing entry point;
 //! * [`exec::Executor`]: the unified execution pipeline every entry
@@ -47,6 +48,7 @@ pub mod invoke;
 pub mod kpar;
 pub mod matrix;
 pub mod mpar;
+pub mod plan;
 pub mod reference;
 pub mod resilience;
 pub mod roofline;
@@ -54,8 +56,8 @@ pub mod shape;
 pub mod tgemm;
 
 pub use adjust::{
-    adjust_kpar, adjust_mpar, choose_strategy, cmr_f1, cmr_f2, cmr_f3, cmr_f4, initial_kpar,
-    initial_mpar, ChosenStrategy,
+    adjust_kpar, adjust_mpar, cmr_f1, cmr_f2, cmr_f3, cmr_f4, initial_kpar, initial_mpar,
+    ChosenStrategy,
 };
 pub use api::{FtImm, Strategy};
 pub use batch::{BatchReport, GemmBatch};
@@ -70,8 +72,12 @@ pub use invoke::invoke_kernel;
 pub use kpar::{run_kpar, KparBlocks};
 pub use matrix::{DdrMatrix, GemmProblem};
 pub use mpar::{run_mpar, MparBlocks};
+pub use plan::{
+    analytic_seconds, choose_strategy, plan_from_json, plan_json, Plan, PlanCache, PlanCacheStats,
+    PlanKey, PlanOrigin, Planner, DEFAULT_PLAN_CACHE_CAPACITY,
+};
 pub use resilience::{
     max_abs_error_vs_oracle, run_resilient, run_resilient_full, ResilienceConfig, ResilientRun,
 };
-pub use shape::{GemmShape, IrregularType};
+pub use shape::{GemmShape, IrregularType, BLOCK_ALIGN, SUFFICIENTLY_LARGE, TINY_K_MAX};
 pub use tgemm::{run_tgemm, TgemmParams};

@@ -1,0 +1,183 @@
+//! A bounded, shared memo of resolved plans.
+//!
+//! The ROADMAP's serving scenario repeats shapes constantly; planning a
+//! repeated shape should be a lookup, not two timing-model simulations.
+//! The cache keys on everything planning depends on — shape, core
+//! count, and the *requested* [`Strategy`] (an `Auto` plan and a forced
+//! `MPar` plan for the same shape are different entries) — and evicts
+//! least-recently-used entries beyond its capacity, so a shape-diverse
+//! workload cannot grow it without bound.
+//!
+//! Counters are cheap atomics read by the profiler exporters; the map
+//! itself sits behind a [`Mutex`] (planning is rare and bounded — the
+//! lock is never held across a simulation).
+
+use crate::plan::Plan;
+use crate::{GemmShape, Strategy};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Default entry bound: a few hundred distinct (shape, cores, strategy)
+/// workloads — far beyond any benchmark here — in well under a MiB.
+pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 256;
+
+/// Everything a cached plan depends on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanKey {
+    /// Problem shape.
+    pub shape: GemmShape,
+    /// Cores requested.
+    pub cores: usize,
+    /// The *requested* strategy (not the resolved one).
+    pub strategy: Strategy,
+}
+
+/// Snapshot of a cache's lifetime counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlanCacheStats {
+    /// Lookups that returned a cached plan.
+    pub hits: u64,
+    /// Lookups that found nothing (the caller then plans and inserts).
+    pub misses: u64,
+    /// Entries evicted to the capacity bound.
+    pub evictions: u64,
+    /// Entries currently held.
+    pub len: usize,
+    /// Entry bound (`0` disables caching entirely).
+    pub capacity: usize,
+}
+
+/// Bounded LRU memo of `(shape, cores, strategy) → Plan`.
+#[derive(Debug)]
+pub struct PlanCache {
+    capacity: usize,
+    /// LRU order: index 0 is the coldest entry, the back the hottest.
+    /// Linear scan is fine at this capacity (planning is not hot).
+    entries: Mutex<Vec<(PlanKey, Plan)>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl PlanCache {
+    /// A cache holding at most `capacity` plans (`0` disables caching:
+    /// every lookup misses, nothing is stored).
+    pub fn new(capacity: usize) -> Self {
+        PlanCache {
+            capacity,
+            entries: Mutex::new(Vec::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Look up a plan, refreshing its recency on a hit.
+    pub fn get(&self, key: &PlanKey) -> Option<Plan> {
+        let mut entries = self.entries.lock().expect("plan cache poisoned");
+        if let Some(pos) = entries.iter().position(|(k, _)| k == key) {
+            let entry = entries.remove(pos);
+            let plan = entry.1;
+            entries.push(entry);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            Some(plan)
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Store a plan, evicting the least-recently-used entry if full.
+    pub fn insert(&self, key: PlanKey, plan: Plan) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut entries = self.entries.lock().expect("plan cache poisoned");
+        if let Some(pos) = entries.iter().position(|(k, _)| *k == key) {
+            entries.remove(pos);
+        } else if entries.len() == self.capacity {
+            entries.remove(0);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        entries.push((key, plan));
+    }
+
+    /// Lifetime counters and current occupancy.
+    pub fn stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            len: self.entries.lock().expect("plan cache poisoned").len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ChosenStrategy;
+
+    fn key(m: usize) -> PlanKey {
+        PlanKey {
+            shape: GemmShape::new(m, 32, 32),
+            cores: 8,
+            strategy: Strategy::Auto,
+        }
+    }
+
+    fn plan(m: usize) -> Plan {
+        Plan::pinned(GemmShape::new(m, 32, 32), 8, ChosenStrategy::TGemm)
+    }
+
+    #[test]
+    fn hits_misses_and_evictions_are_counted() {
+        let cache = PlanCache::new(2);
+        assert_eq!(cache.get(&key(1)), None);
+        cache.insert(key(1), plan(1));
+        cache.insert(key(2), plan(2));
+        assert_eq!(cache.get(&key(1)), Some(plan(1)));
+        // Key 2 is now the LRU entry; inserting a third evicts it.
+        cache.insert(key(3), plan(3));
+        assert_eq!(cache.get(&key(2)), None);
+        assert_eq!(cache.get(&key(1)), Some(plan(1)));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.evictions), (2, 2, 1));
+        assert_eq!((stats.len, stats.capacity), (2, 2));
+    }
+
+    #[test]
+    fn reinserting_a_key_replaces_without_eviction() {
+        let cache = PlanCache::new(2);
+        cache.insert(key(1), plan(1));
+        cache.insert(key(1), plan(7));
+        assert_eq!(cache.get(&key(1)), Some(plan(7)));
+        assert_eq!(cache.stats().evictions, 0);
+        assert_eq!(cache.stats().len, 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = PlanCache::new(0);
+        cache.insert(key(1), plan(1));
+        assert_eq!(cache.get(&key(1)), None);
+        assert_eq!(cache.stats().len, 0);
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn distinct_strategies_are_distinct_entries() {
+        let cache = PlanCache::new(8);
+        let auto = key(1);
+        let forced = PlanKey {
+            strategy: Strategy::MPar,
+            ..auto
+        };
+        cache.insert(auto, plan(1));
+        assert_eq!(cache.get(&forced), None);
+        cache.insert(forced, plan(2));
+        assert_eq!(cache.get(&auto), Some(plan(1)));
+        assert_eq!(cache.get(&forced), Some(plan(2)));
+    }
+}

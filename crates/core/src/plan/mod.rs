@@ -1,0 +1,361 @@
+//! The Plan IR: an explicit, serialisable description of how one GEMM
+//! will execute, separated from execution itself.
+//!
+//! The paper's headline claim is that ftIMM "automatically chooses the
+//! optimal block sizes and parallelisation strategy" per irregular shape
+//! (§III).  Before this module, that choice was scattered: rule-based
+//! selection lived in `adjust`, `Strategy::Auto` ran two full
+//! timing-model simulations inside [`crate::FtImm::plan`] on *every*
+//! call, and each entry point re-derived what to run.  The plan layer
+//! splits the concern three ways:
+//!
+//! * [`Plan`] — the IR itself: shape, cores, the resolved
+//!   [`ChosenStrategy`] (with concrete block sizes), where the plan came
+//!   from, and what the planner predicted/measured for it.  Serialisable
+//!   via [`plan_json`]/[`plan_from_json`] so plans can be logged, diffed
+//!   and pinned.
+//! * [`planner::Planner`] — produces plans: a cheap analytic cost model
+//!   ([`cost::analytic_seconds`]) ranks a broadened candidate space
+//!   (mPar/kPar/TGEMM × a block-size grid), and only the top-K
+//!   candidates are evaluated on the timing model.
+//! * [`cache::PlanCache`] — a bounded, shared memo of
+//!   `(shape, cores, strategy) → Plan` with hit/miss/eviction counters,
+//!   so repeated shapes plan in O(1) with **zero** simulations.
+//!
+//! The [`crate::exec::Executor`] consumes plans; every entry point —
+//! `gemm`, `tgemm`, the resilient variants, the job engine and the batch
+//! API — routes through it, so this module is the only place planning
+//! decisions are made.
+
+pub mod cache;
+pub mod cost;
+pub mod planner;
+
+pub use cache::{PlanCache, PlanCacheStats, PlanKey, DEFAULT_PLAN_CACHE_CAPACITY};
+pub use cost::analytic_seconds;
+pub use planner::{choose_strategy, Planner};
+
+use crate::{ChosenStrategy, GemmShape, KparBlocks, MparBlocks};
+use dspsim::minijson::{quote, Parser, Value};
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Where a [`Plan`] came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlanOrigin {
+    /// The caller forced a strategy; only its blocks were adjusted.
+    Forced,
+    /// Rule-based selection (§IV-C rules, no model evaluation).
+    Rules,
+    /// The cost-model planner ranked candidates and simulated the top-K.
+    CostModel,
+    /// The caller handed the executor a pre-resolved strategy.
+    Pinned,
+}
+
+impl PlanOrigin {
+    /// Stable lower-case tag used by the JSON codec.
+    pub fn tag(self) -> &'static str {
+        match self {
+            PlanOrigin::Forced => "forced",
+            PlanOrigin::Rules => "rules",
+            PlanOrigin::CostModel => "cost-model",
+            PlanOrigin::Pinned => "pinned",
+        }
+    }
+
+    /// Parse a [`PlanOrigin::tag`] back.
+    pub fn from_tag(s: &str) -> Result<PlanOrigin, String> {
+        [
+            PlanOrigin::Forced,
+            PlanOrigin::Rules,
+            PlanOrigin::CostModel,
+            PlanOrigin::Pinned,
+        ]
+        .into_iter()
+        .find(|o| o.tag() == s)
+        .ok_or_else(|| format!("unknown plan origin {s:?}"))
+    }
+}
+
+/// An explicit description of how one GEMM will execute.
+///
+/// Plans are plain values (`Copy`, `PartialEq`) and deliberately carry
+/// **no wall-clock timestamps**: planning the same shape twice with the
+/// same inputs yields bit-identical plans (asserted by the conformance
+/// suite), which is what makes them cacheable and diffable.  Times that
+/// *predict* the run (`predicted_s`, `simulated_s`) are part of the
+/// plan; the time spent planning is observability and lives in the
+/// profiler's `plan` phase instead.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Plan {
+    /// The problem shape this plan is for.
+    pub shape: GemmShape,
+    /// Cores the plan assigns work across.
+    pub cores: usize,
+    /// The resolved strategy with concrete block sizes.
+    pub strategy: ChosenStrategy,
+    /// How the strategy was selected.
+    pub origin: PlanOrigin,
+    /// Analytic cost-model estimate, seconds (`INFINITY` when the model
+    /// could not evaluate the plan).
+    pub predicted_s: f64,
+    /// Timing-model estimate of the winning candidate, seconds
+    /// (`INFINITY` when the planner ran no simulation for this plan).
+    pub simulated_s: f64,
+    /// Candidates the analytic model ranked to produce this plan.
+    pub candidates: u32,
+    /// Timing-model simulations the planner ran to produce this plan.
+    pub simulations: u32,
+}
+
+impl Plan {
+    /// Wrap a pre-resolved strategy the caller pinned (no planning ran).
+    pub fn pinned(shape: GemmShape, cores: usize, strategy: ChosenStrategy) -> Plan {
+        Plan {
+            shape,
+            cores,
+            strategy,
+            origin: PlanOrigin::Pinned,
+            predicted_s: f64::INFINITY,
+            simulated_s: f64::INFINITY,
+            candidates: 0,
+            simulations: 0,
+        }
+    }
+}
+
+impl fmt::Display for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self.strategy {
+            ChosenStrategy::MPar(_) => "M-par",
+            ChosenStrategy::KPar(_) => "K-par",
+            ChosenStrategy::TGemm => "TGEMM",
+        };
+        write!(
+            f,
+            "{name} for {} on {} cores ({})",
+            self.shape,
+            self.cores,
+            self.origin.tag()
+        )
+    }
+}
+
+/// Document identifier embedded in (and required from) plan JSON.
+const PLAN_SCHEMA: &str = "ftimm-plan-v1";
+
+fn blocks_json(s: &mut String, strategy: &ChosenStrategy) {
+    match strategy {
+        ChosenStrategy::MPar(b) => {
+            let _ = write!(
+                s,
+                "{{\"kind\": \"mpar\", \"n_g\": {}, \"k_g\": {}, \"m_a\": {}, \"n_a\": {}, \
+                 \"k_a\": {}, \"m_s\": {}}}",
+                b.n_g, b.k_g, b.m_a, b.n_a, b.k_a, b.m_s
+            );
+        }
+        ChosenStrategy::KPar(b) => {
+            let _ = write!(
+                s,
+                "{{\"kind\": \"kpar\", \"m_g\": {}, \"n_g\": {}, \"m_a\": {}, \"n_a\": {}, \
+                 \"k_a\": {}, \"m_s\": {}}}",
+                b.m_g, b.n_g, b.m_a, b.n_a, b.k_a, b.m_s
+            );
+        }
+        ChosenStrategy::TGemm => s.push_str("{\"kind\": \"tgemm\"}"),
+    }
+}
+
+/// Serialise a [`Plan`] as a self-contained pretty-printed JSON document
+/// (stable field order; exact `f64` round-trip; `INFINITY` encodes as
+/// the string `"inf"` since JSON has no infinity literal).
+pub fn plan_json(plan: &Plan) -> String {
+    let sec = |v: f64| {
+        if v.is_finite() {
+            format!("{v:?}")
+        } else {
+            "\"inf\"".to_string()
+        }
+    };
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema\": {},", quote(PLAN_SCHEMA));
+    let _ = writeln!(
+        s,
+        "  \"shape\": {{\"m\": {}, \"n\": {}, \"k\": {}}},",
+        plan.shape.m, plan.shape.n, plan.shape.k
+    );
+    let _ = writeln!(s, "  \"cores\": {},", plan.cores);
+    s.push_str("  \"strategy\": ");
+    blocks_json(&mut s, &plan.strategy);
+    s.push_str(",\n");
+    let _ = writeln!(s, "  \"origin\": {},", quote(plan.origin.tag()));
+    let _ = writeln!(s, "  \"predicted_s\": {},", sec(plan.predicted_s));
+    let _ = writeln!(s, "  \"simulated_s\": {},", sec(plan.simulated_s));
+    let _ = writeln!(s, "  \"candidates\": {},", plan.candidates);
+    let _ = writeln!(s, "  \"simulations\": {}", plan.simulations);
+    s.push('}');
+    s
+}
+
+fn field_usize(v: &Value, key: &str) -> Result<usize, String> {
+    v.get(key)
+        .ok_or_else(|| format!("missing {key:?}"))?
+        .as_u64(key)
+        .map(|x| x as usize)
+}
+
+fn seconds_field(v: &Value, key: &str) -> Result<f64, String> {
+    let field = v.get(key).ok_or_else(|| format!("missing {key:?}"))?;
+    if let Ok(s) = field.as_str(key) {
+        return if s == "inf" {
+            Ok(f64::INFINITY)
+        } else {
+            Err(format!("bad seconds value {s:?} for {key:?}"))
+        };
+    }
+    field.as_f64(key)
+}
+
+fn strategy_from_json(v: &Value) -> Result<ChosenStrategy, String> {
+    let kind = v
+        .get("kind")
+        .ok_or("strategy missing \"kind\"")?
+        .as_str("kind")?;
+    match kind {
+        "mpar" => Ok(ChosenStrategy::MPar(MparBlocks {
+            n_g: field_usize(v, "n_g")?,
+            k_g: field_usize(v, "k_g")?,
+            m_a: field_usize(v, "m_a")?,
+            n_a: field_usize(v, "n_a")?,
+            k_a: field_usize(v, "k_a")?,
+            m_s: field_usize(v, "m_s")?,
+        })),
+        "kpar" => Ok(ChosenStrategy::KPar(KparBlocks {
+            m_g: field_usize(v, "m_g")?,
+            n_g: field_usize(v, "n_g")?,
+            m_a: field_usize(v, "m_a")?,
+            n_a: field_usize(v, "n_a")?,
+            k_a: field_usize(v, "k_a")?,
+            m_s: field_usize(v, "m_s")?,
+        })),
+        "tgemm" => Ok(ChosenStrategy::TGemm),
+        other => Err(format!("unknown strategy kind {other:?}")),
+    }
+}
+
+/// Parse a plan document produced by [`plan_json`].
+pub fn plan_from_json(text: &str) -> Result<Plan, String> {
+    let value = Parser::new(text).parse()?;
+    let obj = value.as_obj("plan")?;
+    let mut schema_ok = false;
+    for (key, v) in obj {
+        if key.as_str() == "schema" {
+            let s = v.as_str("schema")?;
+            if s != PLAN_SCHEMA {
+                return Err(format!("unsupported plan schema {s:?}"));
+            }
+            schema_ok = true;
+        }
+    }
+    if !schema_ok {
+        return Err("plan missing \"schema\"".into());
+    }
+    let shape = value.get("shape").ok_or("missing \"shape\"")?;
+    let plan = Plan {
+        shape: GemmShape::new(
+            field_usize(shape, "m")?,
+            field_usize(shape, "n")?,
+            field_usize(shape, "k")?,
+        ),
+        cores: field_usize(&value, "cores")?,
+        strategy: strategy_from_json(value.get("strategy").ok_or("missing \"strategy\"")?)?,
+        origin: PlanOrigin::from_tag(
+            value
+                .get("origin")
+                .ok_or("missing \"origin\"")?
+                .as_str("origin")?,
+        )?,
+        predicted_s: seconds_field(&value, "predicted_s")?,
+        simulated_s: seconds_field(&value, "simulated_s")?,
+        candidates: field_usize(&value, "candidates")? as u32,
+        simulations: field_usize(&value, "simulations")? as u32,
+    };
+    Ok(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(strategy: ChosenStrategy) -> Plan {
+        Plan {
+            shape: GemmShape::new(4096, 32, 512),
+            cores: 8,
+            strategy,
+            origin: PlanOrigin::CostModel,
+            predicted_s: 1.25e-3,
+            simulated_s: 1.5e-3,
+            candidates: 9,
+            simulations: 4,
+        }
+    }
+
+    #[test]
+    fn plan_documents_round_trip_exactly() {
+        for strategy in [
+            ChosenStrategy::MPar(MparBlocks {
+                n_g: 32,
+                k_g: 512,
+                m_a: 320,
+                n_a: 32,
+                k_a: 512,
+                m_s: 8,
+            }),
+            ChosenStrategy::KPar(KparBlocks {
+                m_g: 1024,
+                n_g: 32,
+                m_a: 64,
+                n_a: 32,
+                k_a: 512,
+                m_s: 8,
+            }),
+            ChosenStrategy::TGemm,
+        ] {
+            let plan = sample(strategy);
+            let text = plan_json(&plan);
+            let back = plan_from_json(&text).unwrap();
+            assert_eq!(back, plan, "{text}");
+            assert_eq!(plan_json(&back), text);
+        }
+    }
+
+    #[test]
+    fn pinned_plans_encode_infinity() {
+        let plan = Plan::pinned(GemmShape::new(8, 8, 8), 4, ChosenStrategy::TGemm);
+        let text = plan_json(&plan);
+        assert!(text.contains("\"inf\""), "{text}");
+        assert_eq!(plan_from_json(&text).unwrap(), plan);
+    }
+
+    #[test]
+    fn bad_plan_documents_fail_loudly() {
+        let good = plan_json(&sample(ChosenStrategy::TGemm));
+        for (text, needle) in [
+            (good.replace(PLAN_SCHEMA, "ftimm-plan-v9"), "unsupported"),
+            (good.replace("tgemm", "ggemm"), "unknown strategy kind"),
+            (good.replace("cost-model", "vibes"), "unknown plan origin"),
+            ("{}".to_string(), "missing \"schema\""),
+        ] {
+            let err = plan_from_json(&text).unwrap_err();
+            assert!(err.contains(needle), "wanted {needle:?}, got {err:?}");
+        }
+    }
+
+    #[test]
+    fn display_names_the_strategy_and_origin() {
+        let s = sample(ChosenStrategy::TGemm).to_string();
+        assert!(s.contains("TGEMM") && s.contains("cost-model"), "{s}");
+    }
+}

@@ -8,6 +8,29 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+/// "Sufficiently large" dimension threshold from the paper's evaluation:
+/// an `M` or `K` at or above this counts as the "≫" side of the §III-A
+/// taxonomy.  Shared by [`GemmShape::classify`], the planner's candidate
+/// pruning, and the conformance regime sampler.
+pub const SUFFICIENTLY_LARGE: usize = 2048;
+
+/// Alignment every adjusted block dimension is kept a multiple of (the
+/// DMA burst / vector-width granule all scratchpad panels are padded to).
+pub const BLOCK_ALIGN: usize = 32;
+
+/// The paper's `m_s ≥ 6` rule: below this micro-kernel height the FMAC
+/// pipeline cannot be kept full, so adjusting only goes lower when the
+/// matrix itself has fewer rows.
+pub const MIN_MICROKERNEL_ROWS: usize = 6;
+
+/// Upper bound of the micro-kernel-height search: beyond 14 rows the
+/// generator runs out of vector accumulator registers.
+pub const MAX_MICROKERNEL_ROWS: usize = 14;
+
+/// `K` at or below this is degenerate ("tiny-k"): prologue/epilogue and
+/// remainder handling dominate.  Used by the conformance regime sampler.
+pub const TINY_K_MAX: usize = 8;
+
 /// Problem dimensions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct GemmShape {
@@ -32,12 +55,11 @@ impl GemmShape {
 
     /// Classify per §III-A.
     pub fn classify(&self) -> IrregularType {
-        const BIG: usize = 2048; // "sufficiently large" per the paper's eval
         if self.n > kernelgen::MAX_NA {
             return IrregularType::Regular;
         }
-        let m_big = self.m >= BIG;
-        let k_big = self.k >= BIG;
+        let m_big = self.m >= SUFFICIENTLY_LARGE;
+        let k_big = self.k >= SUFFICIENTLY_LARGE;
         match (m_big, k_big) {
             (true, false) => IrregularType::TallSkinnyTimesSmall,
             (false, true) => IrregularType::SkinnyTallTimesTallSkinny,

@@ -10,7 +10,7 @@ use serde::{Deserialize, Serialize};
 /// calibrated so the model matches the behaviour reported for OpenBLAS on
 /// ARMv8 multi-cores by the irregular-GEMM literature (LibShalom,
 /// AutoTSMM): near-peak on large regular shapes, single-digit-to-low-tens
-/// efficiency on small/irregular shapes.  See DESIGN.md §7.
+/// efficiency on small/irregular shapes.  See DESIGN.md §8.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CpuConfig {
     /// Number of cores (paper: 16).

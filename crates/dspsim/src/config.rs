@@ -1,7 +1,7 @@
 //! Hardware configuration of the modelled FT-m7032 GPDSP cluster.
 //!
 //! Values stated in §II of the paper are used verbatim; values the paper
-//! does not state are invented-but-documented (see DESIGN.md §7) and kept
+//! does not state are invented-but-documented (see DESIGN.md §8) and kept
 //! here so every experiment reads them from one place.
 
 use ftimm_isa::LatencyTable;

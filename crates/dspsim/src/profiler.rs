@@ -35,10 +35,16 @@ pub enum Phase {
     Barrier,
     /// Recovery stalls (retry backoff) charged by a resilience layer.
     Recovery,
+    /// Host-side planning (candidate ranking, cache lookups, timing-model
+    /// simulation) charged by the executor.  Plan spans carry *host* wall
+    /// durations on the simulated timeline: [`Profiler::aggregate`]
+    /// accumulates them directly, without extending the profiled window
+    /// or counting them as device busy time.
+    Plan,
 }
 
 /// Number of [`Phase`] variants (array dimension of per-phase tallies).
-pub const PHASE_COUNT: usize = 7;
+pub const PHASE_COUNT: usize = 8;
 
 /// Physical cores a [`PhaseProfile`] tracks individually (one cluster).
 pub const PROFILE_CORES: usize = 8;
@@ -53,6 +59,7 @@ impl Phase {
         Phase::DmaStore,
         Phase::Barrier,
         Phase::Recovery,
+        Phase::Plan,
     ];
 
     /// Stable lower-case name (used by the JSON exporters).
@@ -65,6 +72,7 @@ impl Phase {
             Phase::DmaStore => "dma_store",
             Phase::Barrier => "barrier",
             Phase::Recovery => "recovery",
+            Phase::Plan => "plan",
         }
     }
 
@@ -87,6 +95,9 @@ impl Phase {
     /// busy (non-idle) portion of the wall clock.
     fn priority(self) -> usize {
         match self {
+            // Plan spans never enter the exclusive sweep (they are
+            // host-side and accumulated directly), so the value is moot.
+            Phase::Plan => 7,
             Phase::Compute => 6,
             Phase::Reduction => 5,
             Phase::Broadcast => 4,
@@ -281,13 +292,23 @@ impl Profiler {
 
         // Boundary sweep: (time, phase index, +1/-1), plus per-core
         // busy-interval union computed from the same sorted boundaries.
+        // Plan spans are host-side planning time: they accumulate into
+        // their tally directly and never enter the sweep, so they neither
+        // extend the simulated window nor count as device busy time.
         let mut bounds: Vec<(f64, usize, i32)> = Vec::with_capacity(self.spans.len() * 2);
         let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
         for s in &self.spans {
+            if s.phase == Phase::Plan {
+                prof.phase_s[Phase::Plan.index()] += s.t1 - s.t0;
+                continue;
+            }
             lo = lo.min(s.t0);
             hi = hi.max(s.t1);
             bounds.push((s.t0, s.phase.index(), 1));
             bounds.push((s.t1, s.phase.index(), -1));
+        }
+        if bounds.is_empty() {
+            return prof;
         }
         prof.total_s = hi - lo;
         bounds.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("simulated times are finite"));
@@ -320,7 +341,7 @@ impl Profiler {
             let mut iv: Vec<(f64, f64)> = self
                 .spans
                 .iter()
-                .filter(|s| s.core == core && s.t1 > s.t0)
+                .filter(|s| s.core == core && s.t1 > s.t0 && s.phase != Phase::Plan)
                 .map(|s| (s.t0, s.t1))
                 .collect();
             iv.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
@@ -350,11 +371,14 @@ impl Profiler {
 /// [`crate::RunReport`] (which stays `Copy`).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct PhaseProfile {
-    /// Profiled window length: last span end minus first span start,
-    /// simulated seconds.
+    /// Profiled window length: last device span end minus first device
+    /// span start, simulated seconds (host-side [`Phase::Plan`] spans do
+    /// not extend it).
     pub total_s: f64,
     /// Exclusive simulated seconds per phase, indexed by [`Phase::index`].
-    /// Their sum is the cluster's busy time and is `<= total_s`.
+    /// Summed over the device phases this is the cluster's busy time and
+    /// is `<= total_s`; the [`Phase::Plan`] slot holds *host* planning
+    /// seconds accumulated outside the sweep.
     pub phase_s: [f64; PHASE_COUNT],
     /// Busy simulated seconds per physical core (union of its spans;
     /// cores beyond [`PROFILE_CORES`] are not tracked).
@@ -367,6 +391,13 @@ pub struct PhaseProfile {
     pub roofline_gflops: f64,
     /// Achieved GFLOPS of the profiled run (filled by the executor).
     pub achieved_gflops: f64,
+    /// Plan-cache hits over the owning context's lifetime (filled by the
+    /// executor; zero when unknown).
+    pub plan_hits: u64,
+    /// Plan-cache misses over the owning context's lifetime.
+    pub plan_misses: u64,
+    /// Plan-cache evictions over the owning context's lifetime.
+    pub plan_evictions: u64,
     /// Spans aggregated.
     pub spans: u64,
     /// Events recorded.
@@ -382,9 +413,19 @@ impl PhaseProfile {
         self.phase_s[phase.index()]
     }
 
-    /// Sum of exclusive per-phase seconds (= cluster busy time).
+    /// Sum of exclusive per-phase *device* seconds (= cluster busy time;
+    /// host-side [`Phase::Plan`] time is excluded).
     pub fn busy_s(&self) -> f64 {
-        self.phase_s.iter().sum()
+        Phase::ALL
+            .into_iter()
+            .filter(|p| *p != Phase::Plan)
+            .map(|p| self.phase_seconds(p))
+            .sum()
+    }
+
+    /// Host seconds spent planning (the [`Phase::Plan`] tally).
+    pub fn planning_s(&self) -> f64 {
+        self.phase_seconds(Phase::Plan)
     }
 
     /// DMA/compute overlap as a fraction of the profiled window, in
@@ -456,6 +497,30 @@ mod tests {
         let kept: Vec<f64> = p.spans().map(|s| s.t0).collect();
         assert_eq!(kept, vec![3.0, 4.0]);
         assert_eq!(p.aggregate().dropped, 3);
+    }
+
+    #[test]
+    fn plan_spans_accumulate_without_extending_the_window() {
+        let mut p = Profiler::enabled(16);
+        p.record(span(Phase::Compute, 0, 0.0, 2.0));
+        // Host planning time, recorded far outside the device window: it
+        // must tally under `plan` without stretching total_s, counting as
+        // device busy time, or touching core occupancy.
+        p.record(span(Phase::Plan, 0, 100.0, 100.5));
+        let prof = p.aggregate();
+        assert!((prof.total_s - 2.0).abs() < 1e-12);
+        assert!((prof.planning_s() - 0.5).abs() < 1e-12);
+        assert!((prof.busy_s() - 2.0).abs() < 1e-12);
+        assert!((prof.core_busy_s[0] - 2.0).abs() < 1e-12);
+
+        // Plan-only recordings aggregate to a zero-window profile that
+        // still reports the planning tally.
+        let mut only = Profiler::enabled(16);
+        only.record(span(Phase::Plan, 0, 1.0, 1.25));
+        let prof = only.aggregate();
+        assert_eq!(prof.total_s, 0.0);
+        assert!((prof.planning_s() - 0.25).abs() < 1e-12);
+        assert_eq!(prof.busy_s(), 0.0);
     }
 
     #[test]

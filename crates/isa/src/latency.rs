@@ -2,7 +2,7 @@
 //!
 //! The paper references `t_fma`, `t_VLDW` and `t_SBR` without giving
 //! values; the values here are chosen to be consistent with the paper's
-//! schedules (see DESIGN.md §7) and are used both by the kernel generator
+//! schedules (see DESIGN.md §8) and are used both by the kernel generator
 //! (to build hazard-free schedules) and by the interpreter's hazard
 //! checker (to verify them).
 

@@ -1,6 +1,6 @@
 //! The conformance regression suite: replay every persisted mismatch
 //! fixture, run a short seeded fuzz sweep, and statically verify the
-//! kernels the planner actually uses.  See DESIGN.md §6.
+//! kernels the planner actually uses.  See DESIGN.md §7.
 
 use conformance::{replay_dir, run_fuzz, verify_kernel};
 use dspsim::HwConfig;

@@ -1,0 +1,119 @@
+//! Conformance of the Plan IR layer: plan-then-execute equivalence,
+//! planning determinism, zero-simulation cache hits and the analytic
+//! cost model's agreement with the timing model on the paper's shapes.
+
+use conformance::{Regime, Rng64};
+use dspsim::{ExecMode, HwConfig, Machine};
+use ftimm::reference::fill_matrix;
+use ftimm::{analytic_seconds, FtImm, GemmProblem, GemmShape, Planner, Strategy};
+
+fn staged(machine: &mut Machine, shape: &GemmShape) -> GemmProblem {
+    let (m, n, k) = (shape.m, shape.n, shape.k);
+    let p = GemmProblem::alloc(machine, m, n, k).unwrap();
+    p.a.upload(machine, &fill_matrix(m * k, 1)).unwrap();
+    p.b.upload(machine, &fill_matrix(k * n, 2)).unwrap();
+    p.c.upload(machine, &fill_matrix(m * n, 3)).unwrap();
+    p
+}
+
+#[test]
+fn plan_then_execute_matches_one_shot_in_every_regime() {
+    let ft = FtImm::new(HwConfig::default());
+    let mut rng = Rng64::new(0xA11CE);
+    for regime in Regime::ALL {
+        let shape = regime.sample(&mut rng);
+        let plan = ft.plan_full(&shape, Strategy::Auto, 8);
+
+        let mut m1 = Machine::with_mode(ExecMode::Fast);
+        let p1 = staged(&mut m1, &shape);
+        let r1 = ft.run_plan(&mut m1, &p1, &plan.strategy, 8).unwrap();
+        let c1 = p1.c.download(&mut m1).unwrap();
+
+        let mut m2 = Machine::with_mode(ExecMode::Fast);
+        let p2 = staged(&mut m2, &shape);
+        let (r2, used) = ft.gemm(&mut m2, &p2, Strategy::Auto, 8).unwrap();
+        let c2 = p2.c.download(&mut m2).unwrap();
+
+        assert_eq!(used, plan, "{regime}: one-shot resolved a different plan");
+        assert_eq!(
+            r1.seconds.to_bits(),
+            r2.seconds.to_bits(),
+            "{regime} {shape}: simulated time diverged"
+        );
+        for (i, (a, b)) in c1.iter().zip(&c2).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{regime} {shape}: element {i} diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn planning_is_deterministic_for_every_regime_and_strategy() {
+    let ft = FtImm::new(HwConfig::default());
+    let planner = Planner::new(ft.cache(), ft.cfg());
+    let mut rng = Rng64::new(0xBEE);
+    for regime in Regime::ALL {
+        let shape = regime.sample(&mut rng);
+        for strategy in [Strategy::Auto, Strategy::Rules, Strategy::MPar] {
+            let a = planner.plan(&shape, strategy, 8, |c| ft.predict_seconds(&shape, c, 8));
+            let b = planner.plan(&shape, strategy, 8, |c| ft.predict_seconds(&shape, c, 8));
+            assert_eq!(a, b, "{regime} {shape} {strategy:?}");
+        }
+    }
+}
+
+#[test]
+fn auto_on_a_cached_shape_runs_zero_timing_simulations() {
+    let ft = FtImm::new(HwConfig::default());
+    let shape = GemmShape::new(2048, 32, 512);
+    let cold = ft.plan_full(&shape, Strategy::Auto, 8);
+    assert!(cold.simulations >= 2, "auto simulates rule + alternative");
+    let after_cold = ft.timing_simulations();
+
+    // Warm: the memo answers; the timing model is never consulted.
+    let warm = ft.plan_full(&shape, Strategy::Auto, 8);
+    assert_eq!(warm, cold);
+    assert_eq!(ft.timing_simulations(), after_cold);
+    let stats = ft.plan_cache_stats();
+    assert_eq!(stats.hits, 1);
+    assert!(stats.misses >= 1);
+}
+
+#[test]
+fn analytic_ranking_agrees_with_the_timing_model_on_fig5_extremes() {
+    // Acceptance: on the paper's type-1 and type-2 shapes the cheap
+    // analytic model must pick the same winning strategy as the full
+    // timing-model simulation.
+    let ft = FtImm::new(HwConfig::default());
+    for (m, n, k) in [(1 << 16, 32, 32), (32, 32, 1 << 16)] {
+        let shape = GemmShape::new(m, n, k);
+        let mpar = ft.plan(&shape, Strategy::MPar, 8);
+        let kpar = ft.plan(&shape, Strategy::KPar, 8);
+        let analytic_mpar = analytic_seconds(ft.cache(), ft.cfg(), &shape, &mpar, 8);
+        let analytic_kpar = analytic_seconds(ft.cache(), ft.cfg(), &shape, &kpar, 8);
+        let timing_mpar = ft.predict_seconds(&shape, &mpar, 8);
+        let timing_kpar = ft.predict_seconds(&shape, &kpar, 8);
+        assert_eq!(
+            analytic_mpar < analytic_kpar,
+            timing_mpar < timing_kpar,
+            "{shape}: analytic ({analytic_mpar}, {analytic_kpar}) vs \
+             timing ({timing_mpar}, {timing_kpar})"
+        );
+    }
+}
+
+#[test]
+fn resolved_plans_round_trip_through_json() {
+    let ft = FtImm::new(HwConfig::default());
+    let mut rng = Rng64::new(0xD0C);
+    for regime in Regime::ALL {
+        let shape = regime.sample(&mut rng);
+        let plan = ft.plan_full(&shape, Strategy::Auto, 8);
+        let text = ftimm::plan_json(&plan);
+        let back = ftimm::plan_from_json(&text).unwrap();
+        assert_eq!(back, plan, "{regime} {shape}:\n{text}");
+    }
+}
