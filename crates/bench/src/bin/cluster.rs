@@ -1,0 +1,80 @@
+//! Multi-cluster report: weak-scaling efficiency of the sharded engine
+//! on the Table I–III regimes and the measured shard-failover cost.
+//!
+//! Usage:
+//! `cargo run --release -p bench --bin cluster -- [options]`
+//!
+//! Options:
+//! * `--out FILE` — write the `BENCH_cluster.json` document
+//! * `--trace FILE` — write the per-cluster Chrome trace of the killed
+//!   failover probe (CI artifact; load in Perfetto)
+//! * `--assert-failover-overhead X` — exit nonzero unless the recovery
+//!   overhead stays within `X` times the lost shard's fault-free work
+//!   (CI gate; the design target is 2)
+
+fn main() {
+    let mut out: Option<String> = None;
+    let mut trace: Option<String> = None;
+    let mut assert_overhead: Option<f64> = None;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => {
+                out = Some(
+                    it.next()
+                        .cloned()
+                        .unwrap_or_else(|| die("--out needs a path")),
+                )
+            }
+            "--trace" => {
+                trace = Some(
+                    it.next()
+                        .cloned()
+                        .unwrap_or_else(|| die("--trace needs a path")),
+                )
+            }
+            "--assert-failover-overhead" => {
+                assert_overhead = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| die("--assert-failover-overhead needs a number")),
+                )
+            }
+            other => die(&format!("unrecognised argument `{other}`")),
+        }
+    }
+
+    let report = bench::cluster::compute();
+    print!("{}", bench::cluster::render(&report));
+
+    if let Some(path) = &out {
+        std::fs::write(path, bench::cluster::render_json(&report))
+            .unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
+        println!("report written to {path}");
+    }
+
+    if let Some(path) = &trace {
+        std::fs::write(path, bench::cluster::failover_trace())
+            .unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
+        println!("per-cluster trace written to {path}");
+    }
+
+    if let Some(max) = assert_overhead {
+        let got = report.failover.overhead_ratio();
+        if got > max {
+            eprintln!(
+                "failover-overhead check FAILED: recovery cost {got:.2}x the lost shard's \
+                 work > allowed {max}x"
+            );
+            std::process::exit(1);
+        }
+        println!("failover-overhead check OK: {got:.2}x <= {max}x");
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: cluster [--out FILE] [--trace FILE] [--assert-failover-overhead X]");
+    std::process::exit(2);
+}

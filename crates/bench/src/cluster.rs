@@ -1,0 +1,360 @@
+//! Multi-cluster report: weak-scaling efficiency of the sharded engine
+//! from 1 to 4 cluster fault domains on the Table I–III regimes, plus
+//! the measured cost of a checkpointed shard failover.
+//!
+//! Not a paper figure — the paper's FT-m7032 has four GPDSP clusters but
+//! evaluates one; this extends the perf trajectory to the multi-cluster
+//! front end (DESIGN.md §4.3).  `BENCH_cluster.json` is emitted by the
+//! `cluster` binary and archived by CI; its `--assert-failover-overhead`
+//! gate keeps recovery cost bounded by twice the lost shard's work.
+
+use crate::common::format_table;
+use dspsim::{ExecMode, FaultPlan, HwConfig, Profiler};
+use ftimm::reference::fill_matrix;
+use ftimm::{
+    chrome_trace_json_clusters, ClusterPool, EngineConfig, FtImm, GemmShape, ResilienceConfig,
+    ShardedConfig, ShardedEngine, ShardedJob, ShardedOutcome, ShardedReport, Strategy, TenantSpec,
+};
+use std::fmt::Write as _;
+
+/// Cores driven per cluster (the paper's full GPDSP cluster).
+pub const CORES: usize = 8;
+
+/// Largest pool in the sweep.
+pub const MAX_CLUSTERS: usize = 4;
+
+/// The Table I–III regimes, as per-cluster base shapes: weak scaling
+/// multiplies `m` by the cluster count (the engine shards over M), so
+/// each cluster always owns one base problem's worth of rows.
+pub const REGIMES: [(&str, (usize, usize, usize)); 3] = [
+    ("table1-type1", (8192, 32, 32)),   // tall-skinny, M-parallel
+    ("table2-type2", (32, 32, 8192)),   // short-wide, K-parallel
+    ("table3-type3", (2560, 32, 2560)), // doubly irregular
+];
+
+/// One weak-scaling measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct Row {
+    /// Regime label (`table1-type1`, …).
+    pub regime: &'static str,
+    /// Clusters in the pool.
+    pub clusters: usize,
+    /// The scaled shape actually run (`m = base_m × clusters`).
+    pub shape: GemmShape,
+    /// Simulated makespan of the sharded run.
+    pub seconds: f64,
+    /// Weak-scaling efficiency: single-cluster base-problem time over
+    /// this run's time (1.0 = perfect scaling).
+    pub efficiency: f64,
+}
+
+/// The measured cost of one checkpointed shard failover (functional
+/// 2-cluster run, cluster 0 killed halfway through its shard).
+#[derive(Debug, Clone, Copy)]
+pub struct FailoverCost {
+    /// The killed shard's fault-free seconds (the work put at risk).
+    pub shard_fault_free_s: f64,
+    /// Fault-free sharded makespan.
+    pub fault_free_s: f64,
+    /// Makespan with the mid-shard cluster kill.
+    pub with_kill_s: f64,
+}
+
+impl FailoverCost {
+    /// Extra simulated seconds the recovery cost end to end.
+    pub fn overhead_s(&self) -> f64 {
+        self.with_kill_s - self.fault_free_s
+    }
+
+    /// Recovery overhead as a multiple of the lost shard's fault-free
+    /// work — the quantity the CI gate bounds.
+    pub fn overhead_ratio(&self) -> f64 {
+        self.overhead_s() / self.shard_fault_free_s.max(1e-12)
+    }
+}
+
+/// The whole report.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Weak-scaling rows, regime-major then cluster count.
+    pub rows: Vec<Row>,
+    /// The failover-cost probe.
+    pub failover: FailoverCost,
+}
+
+impl Report {
+    /// Smallest weak-scaling efficiency at the full pool size.
+    pub fn min_efficiency(&self) -> f64 {
+        self.rows
+            .iter()
+            .filter(|r| r.clusters == MAX_CLUSTERS)
+            .map(|r| r.efficiency)
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+fn sharded_cfg(profile: bool) -> ShardedConfig {
+    ShardedConfig {
+        engine: EngineConfig {
+            resilience: ResilienceConfig {
+                ckpt_rows: 8,
+                ..ResilienceConfig::default()
+            },
+            ..EngineConfig::default()
+        },
+        profile,
+        ..ShardedConfig::default()
+    }
+}
+
+fn run_completed(
+    ft: &FtImm,
+    eng: &mut ShardedEngine,
+    job: ShardedJob,
+    what: &str,
+) -> Box<ShardedReport> {
+    let t = eng.register_tenant(TenantSpec::new("bench", 5));
+    eng.submit(t, job);
+    let mut records = eng.run_all(ft);
+    assert_eq!(records.len(), 1);
+    match records.remove(0).outcome {
+        ShardedOutcome::Completed { report, .. } => report,
+        other => panic!("{what}: expected completion, got {}", other.label()),
+    }
+}
+
+/// Simulated makespan of one timing-mode sharded run.
+fn timing_seconds(ft: &FtImm, shape: &GemmShape, clusters: usize) -> f64 {
+    let pool = ClusterPool::new(&HwConfig::default(), ExecMode::Timing, clusters);
+    let mut eng = ShardedEngine::new(pool, sharded_cfg(false));
+    let job = ShardedJob::timing(shape.m, shape.n, shape.k, Strategy::Auto, CORES);
+    run_completed(ft, &mut eng, job, "timing run").seconds
+}
+
+/// Shape of the functional failover probe (big enough for several
+/// checkpoint spans per shard, small enough for Fast mode in CI).
+const PROBE: (usize, usize, usize) = (128, 32, 32);
+
+fn probe_job() -> ShardedJob {
+    let (m, n, k) = PROBE;
+    ShardedJob::gemm(
+        m,
+        n,
+        k,
+        fill_matrix(m * k, 1),
+        fill_matrix(k * n, 2),
+        fill_matrix(m * n, 3),
+        Strategy::Auto,
+        CORES,
+    )
+}
+
+/// Measure the failover cost; with `profile` on, also return the
+/// per-cluster recordings of the killed run for Chrome-trace export.
+fn failover_probe(ft: &FtImm, profile: bool) -> (FailoverCost, Vec<Vec<Profiler>>) {
+    let pool = ClusterPool::new(&HwConfig::default(), ExecMode::Fast, 2);
+    let mut eng = ShardedEngine::new(pool, sharded_cfg(false));
+    let clean = run_completed(ft, &mut eng, probe_job(), "fault-free probe");
+    let shard_fault_free_s = clean.shard_runs[0].seconds;
+
+    let pool = ClusterPool::new(&HwConfig::default(), ExecMode::Fast, 2);
+    let mut eng = ShardedEngine::new(pool, sharded_cfg(profile));
+    eng.install_faults(0, &FaultPlan::new(5).kill_cluster(shard_fault_free_s * 0.5));
+    let killed = run_completed(ft, &mut eng, probe_job(), "killed probe");
+    assert!(
+        !killed.failovers.is_empty(),
+        "the probe kill must actually trigger a failover"
+    );
+    (
+        FailoverCost {
+            shard_fault_free_s,
+            fault_free_s: clean.seconds,
+            with_kill_s: killed.seconds,
+        },
+        eng.take_profilers(),
+    )
+}
+
+/// Run the whole sweep: 3 regimes × 1..=4 clusters, plus the failover
+/// probe.
+pub fn compute() -> Report {
+    let ft = FtImm::new(HwConfig::default());
+    let mut rows = Vec::new();
+    for (regime, (m0, n, k)) in REGIMES {
+        let base = timing_seconds(&ft, &GemmShape::new(m0, n, k), 1);
+        for clusters in 1..=MAX_CLUSTERS {
+            let shape = GemmShape::new(m0 * clusters, n, k);
+            let seconds = timing_seconds(&ft, &shape, clusters);
+            rows.push(Row {
+                regime,
+                clusters,
+                shape,
+                seconds,
+                efficiency: base / seconds.max(1e-12),
+            });
+        }
+    }
+    let (failover, _) = failover_probe(&ft, false);
+    Report { rows, failover }
+}
+
+/// The per-cluster Chrome trace of the killed failover probe (the CI
+/// artifact): one trace process per cluster, the death and the resumed
+/// shard visible side by side.
+pub fn failover_trace() -> String {
+    let ft = FtImm::new(HwConfig::default());
+    let (_, profilers) = failover_probe(&ft, true);
+    let labelled: Vec<(String, Vec<&Profiler>)> = profilers
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (format!("cluster {i}"), v.iter().collect()))
+        .collect();
+    chrome_trace_json_clusters(&labelled)
+}
+
+/// Render the printable report.
+pub fn render(report: &Report) -> String {
+    let rows: Vec<Vec<String>> = report
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.regime.to_string(),
+                format!("{}", r.clusters),
+                r.shape.to_string(),
+                format!("{:.3e}", r.seconds),
+                format!("{:.2}", r.efficiency),
+            ]
+        })
+        .collect();
+    let mut s = format_table(
+        &format!("Weak scaling — sharded engine, 1..{MAX_CLUSTERS} clusters ({CORES} cores each)"),
+        &["regime", "clusters", "MxNxK", "seconds", "efficiency"],
+        &rows,
+    );
+    let f = &report.failover;
+    let _ = writeln!(
+        s,
+        "failover probe: fault-free {:.3e}s, with kill {:.3e}s, overhead {:.3e}s \
+         ({:.2}x the lost shard's {:.3e}s)",
+        f.fault_free_s,
+        f.with_kill_s,
+        f.overhead_s(),
+        f.overhead_ratio(),
+        f.shard_fault_free_s
+    );
+    s
+}
+
+/// Serialise the report as the `BENCH_cluster.json` document.
+pub fn render_json(report: &Report) -> String {
+    let mut s = String::from("{\n  \"schema\": \"ftimm-bench-cluster-v1\",\n  \"rows\": [\n");
+    for (i, r) in report.rows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"regime\": \"{}\", \"clusters\": {}, \"m\": {}, \"n\": {}, \"k\": {}, \
+             \"seconds\": {:?}, \"efficiency\": {:?}}}",
+            r.regime, r.clusters, r.shape.m, r.shape.n, r.shape.k, r.seconds, r.efficiency
+        );
+        s.push_str(if i + 1 < report.rows.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    let f = &report.failover;
+    let _ = writeln!(s, "  ],");
+    let _ = writeln!(
+        s,
+        "  \"failover\": {{\"shard_fault_free_s\": {:?}, \"fault_free_s\": {:?}, \
+         \"with_kill_s\": {:?}, \"overhead_s\": {:?}, \"overhead_ratio\": {:?}}},",
+        f.shard_fault_free_s,
+        f.fault_free_s,
+        f.with_kill_s,
+        f.overhead_s(),
+        f.overhead_ratio()
+    );
+    let _ = writeln!(s, "  \"min_efficiency\": {:?}", report.min_efficiency());
+    s.push('}');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    fn cached() -> &'static Report {
+        static P: OnceLock<Report> = OnceLock::new();
+        P.get_or_init(compute)
+    }
+
+    #[test]
+    fn sweep_covers_every_regime_and_pool_size() {
+        let report = cached();
+        assert_eq!(report.rows.len(), REGIMES.len() * MAX_CLUSTERS);
+        for r in &report.rows {
+            assert!(r.seconds > 0.0, "{} x{}", r.regime, r.clusters);
+            assert!(r.efficiency.is_finite());
+            if r.clusters == 1 {
+                assert!(
+                    (r.efficiency - 1.0).abs() < 1e-9,
+                    "single-cluster efficiency is 1 by construction"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scaling_is_imperfect_but_real() {
+        // Weak scaling can't beat perfect by more than launch-overhead
+        // noise, and a working sharder must not collapse either.
+        for r in cached().rows.iter().filter(|r| r.clusters > 1) {
+            assert!(
+                r.efficiency <= 1.05,
+                "{} x{}: {}",
+                r.regime,
+                r.clusters,
+                r.efficiency
+            );
+            assert!(
+                r.efficiency > 0.2,
+                "{} x{}: {}",
+                r.regime,
+                r.clusters,
+                r.efficiency
+            );
+        }
+    }
+
+    #[test]
+    fn failover_overhead_is_bounded_by_twice_the_lost_shard() {
+        let f = cached().failover;
+        assert!(f.with_kill_s >= f.fault_free_s, "recovery cannot be free");
+        assert!(
+            f.overhead_ratio() <= 2.0,
+            "overhead {:.2}x exceeds the 2x bound",
+            f.overhead_ratio()
+        );
+    }
+
+    #[test]
+    fn json_document_carries_rows_and_the_failover_probe() {
+        let s = render_json(cached());
+        assert!(s.contains("ftimm-bench-cluster-v1"));
+        assert!(s.contains("\"failover\""));
+        assert!(s.contains("overhead_ratio"));
+        assert!(s.contains("min_efficiency"));
+        for (regime, _) in REGIMES {
+            assert!(s.contains(regime));
+        }
+    }
+
+    #[test]
+    fn failover_trace_has_one_process_per_cluster() {
+        let trace = failover_trace();
+        assert!(trace.contains("\"name\":\"cluster 0\""));
+        assert!(trace.contains("\"name\":\"cluster 1\""));
+        assert!(trace.contains("cluster_failed"));
+    }
+}

@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod cluster;
 pub mod common;
 pub mod fig3;
 pub mod fig4;

@@ -27,7 +27,14 @@
 //! * [`OracleKind::PlanConsistency`] — planning is deterministic (the
 //!   same request yields the identical [`ftimm::Plan`] twice, with and
 //!   without the memo) and plan-then-execute (`run_plan`) is bitwise
-//!   identical to the one-shot entry point (`gemm`).
+//!   identical to the one-shot entry point (`gemm`);
+//! * [`OracleKind::ShardFailover`] — a sharded two-cluster run with a
+//!   seeded mid-shard cluster death
+//!   ([`dspsim::FaultPlan::kill_cluster`]) fails over and stays bitwise
+//!   identical to a fault-free single-cluster *checkpointed* run of the
+//!   same pinned plan and ckpt grid (checkpoint spans re-anchor the
+//!   kernel blocking, so that — not a plain run — is the bit-exact
+//!   oracle), and every submitted job reaches a terminal outcome.
 //!
 //! Every case additionally runs the [`crate::verifier`] lint pass over
 //! each micro-kernel its plan pulls from the cache.
@@ -35,10 +42,12 @@
 use crate::regime::Regime;
 use crate::rng::Rng64;
 use crate::verifier::verify_kernel;
-use dspsim::{DmaPath, ExecMode, FaultPlan, Machine, RunReport};
+use dspsim::{DmaPath, ExecMode, FaultPlan, HwConfig, Machine, RunReport};
 use ftimm::reference::{fill_matrix, sgemm_f64};
 use ftimm::{
-    ChosenStrategy, FtImm, FtimmError, GemmProblem, GemmShape, ResilienceConfig, Strategy,
+    ChosenStrategy, ClusterPool, EngineConfig, FtImm, FtimmError, GemmProblem, GemmShape,
+    ResilienceConfig, ShardedConfig, ShardedEngine, ShardedJob, ShardedOutcome, Strategy,
+    TenantSpec,
 };
 use kernelgen::KernelSpec;
 use std::fmt;
@@ -62,11 +71,13 @@ pub enum OracleKind {
     FaultRecovery,
     /// Planning is deterministic and plan-then-execute ≡ one-shot.
     PlanConsistency,
+    /// Sharded run with seeded cluster death ≡ single-cluster, bitwise.
+    ShardFailover,
 }
 
 impl OracleKind {
     /// All oracles, in round-robin scheduling order.
-    pub const ALL: [OracleKind; 8] = [
+    pub const ALL: [OracleKind; 9] = [
         OracleKind::Reference,
         OracleKind::ModeEquivalence,
         OracleKind::EntryEquivalence,
@@ -75,6 +86,7 @@ impl OracleKind {
         OracleKind::TilingInvariance,
         OracleKind::FaultRecovery,
         OracleKind::PlanConsistency,
+        OracleKind::ShardFailover,
     ];
 
     /// Stable tag used in fixtures.
@@ -88,6 +100,7 @@ impl OracleKind {
             OracleKind::TilingInvariance => "tiling-invariance",
             OracleKind::FaultRecovery => "fault-recovery",
             OracleKind::PlanConsistency => "plan-consistency",
+            OracleKind::ShardFailover => "shard-failover",
         }
     }
 
@@ -134,8 +147,10 @@ pub struct CaseSpec {
     pub strategy: Strategy,
     /// The oracle.
     pub oracle: OracleKind,
-    /// When set, the seed of the injected [`FaultPlan`]
-    /// (see [`fault_plan_for`]); only [`OracleKind::FaultRecovery`] uses it.
+    /// When set, the seed of the injected [`FaultPlan`] (see
+    /// [`fault_plan_for`]); [`OracleKind::FaultRecovery`] draws DMA
+    /// corruptions from it, [`OracleKind::ShardFailover`] the cluster
+    /// kill time.
     pub fault_seed: Option<u64>,
 }
 
@@ -233,9 +248,10 @@ pub fn fault_plan_for(fault_seed: u64) -> FaultPlan {
 pub fn generate_case(run_seed: u64, case_index: u64) -> CaseSpec {
     let mut rng = Rng64::for_case(run_seed, case_index);
     let regime = Regime::ALL[(case_index % 4) as usize];
-    // The oracle index drifts by one every full regime rotation: with 8
-    // oracles and 4 regimes a plain `index % 8` would pin each oracle to
-    // a single regime forever.
+    // The oracle index drifts by one every full regime rotation so no
+    // oracle gets pinned to a small set of regimes (with the oracle
+    // count coprime to 4 a plain modulus would also rotate, but the
+    // drift keeps the schedule independent of that accident).
     let oracle =
         OracleKind::ALL[((case_index + case_index / 4) % OracleKind::ALL.len() as u64) as usize];
     let shape = if oracle == OracleKind::ModeEquivalence {
@@ -250,7 +266,11 @@ pub fn generate_case(run_seed: u64, case_index: u64) -> CaseSpec {
         Strategy::KPar,
         Strategy::TGemm,
     ]);
-    let fault_seed = (oracle == OracleKind::FaultRecovery).then(|| rng.range(1, u32::MAX as u64));
+    let fault_seed = matches!(
+        oracle,
+        OracleKind::FaultRecovery | OracleKind::ShardFailover
+    )
+    .then(|| rng.range(1, u32::MAX as u64));
     CaseSpec {
         seed: rng.next(),
         shape,
@@ -696,6 +716,117 @@ pub fn check_case(ft: &FtImm, case: &CaseSpec) -> Result<(), Mismatch> {
                 &oracle_for(&staged, &case.shape),
             )
         }
+        OracleKind::ShardFailover => {
+            let (m, n, k) = (case.shape.m, case.shape.n, case.shape.k);
+
+            // Bitwise oracle: a fault-free single-cluster *checkpointed*
+            // run of the exact pinned plan and ckpt grid the sharded
+            // engine replicates.  Checkpointing re-anchors the kernel
+            // blocking every span (see plan::sharded), so the sharded
+            // engine is bitwise identical to this — not to a plain
+            // un-checkpointed run.
+            let rcfg = ResilienceConfig {
+                ckpt_rows: 4,
+                ..ResilienceConfig::default()
+            };
+            let mut machine = Machine::with_mode(ExecMode::Fast);
+            let staged = stage(&mut machine, &case.shape, case.seed, false)
+                .map_err(|e| mismatch(case, format!("staging failed: {e}")))?;
+            let pinned = ft.plan_full(&case.shape, case.strategy, case.cores);
+            ft.run_plan_resilient(
+                &mut machine,
+                &staged.problem,
+                &pinned.strategy,
+                case.cores,
+                &rcfg,
+            )
+            .map_err(|e| mismatch(case, format!("oracle run failed: {e}")))?;
+            let want = staged
+                .problem
+                .c
+                .download(&mut machine)
+                .map_err(|e| mismatch(case, format!("oracle download failed: {e}")))?;
+
+            let cfg = ShardedConfig {
+                engine: EngineConfig {
+                    resilience: rcfg,
+                    ..EngineConfig::default()
+                },
+                ..ShardedConfig::default()
+            };
+            let job = || {
+                ShardedJob::gemm(
+                    m,
+                    n,
+                    k,
+                    staged.a.clone(),
+                    staged.b.clone(),
+                    staged.c0.clone(),
+                    case.strategy,
+                    case.cores,
+                )
+            };
+            let run_sharded = |eng: &mut ShardedEngine| -> Result<ShardedOutcome, Mismatch> {
+                let t = eng.register_tenant(TenantSpec::new("fuzz", 1));
+                eng.submit(t, job());
+                let mut records = eng.run_all(ft);
+                if records.len() != 1 {
+                    return Err(mismatch(
+                        case,
+                        format!("expected 1 terminal record, got {}", records.len()),
+                    ));
+                }
+                Ok(records.remove(0).outcome)
+            };
+
+            // Fault-free sharded probe: bitwise identity, and the shard-0
+            // window the seeded kill will land inside.
+            let mut probe = ShardedEngine::new(
+                ClusterPool::new(&HwConfig::default(), ExecMode::Fast, 2),
+                cfg,
+            );
+            let shard0_s = match run_sharded(&mut probe)? {
+                ShardedOutcome::Completed { c, report } => {
+                    compare_bitwise(case, "sharded fault-free vs single-cluster", &c, &want)?;
+                    report.shard_runs[0].seconds
+                }
+                other => {
+                    return Err(mismatch(
+                        case,
+                        format!("fault-free sharded run not completed: {}", other.label()),
+                    ))
+                }
+            };
+
+            // Seeded cluster death somewhere inside shard 0's window; the
+            // job must still complete bitwise-identically via failover.
+            let mut rng = Rng64::new(case.fault_seed.unwrap_or(1));
+            let frac = 0.1 + 0.8 * (rng.range(0, 1000) as f64 / 1000.0);
+            let mut eng = ShardedEngine::new(
+                ClusterPool::new(&HwConfig::default(), ExecMode::Fast, 2),
+                cfg,
+            );
+            eng.install_faults(
+                0,
+                &FaultPlan::new(case.fault_seed.unwrap_or(1)).kill_cluster(shard0_s * frac),
+            );
+            match run_sharded(&mut eng)? {
+                // Death is detected at work-issue points, so a kill time
+                // past the shard's last issue can legitimately pass
+                // unnoticed; the contract here is bitwise identity and a
+                // terminal outcome, with or without an actual failover.
+                ShardedOutcome::Completed { c, .. } => {
+                    compare_bitwise(case, "sharded-with-failover vs single-cluster", &c, &want)
+                }
+                other => Err(mismatch(
+                    case,
+                    format!(
+                        "sharded run under cluster death not completed: {}",
+                        other.label()
+                    ),
+                )),
+            }
+        }
     }
 }
 
@@ -709,7 +840,7 @@ pub struct FuzzSummary {
     /// Cases executed per regime, indexed parallel to [`Regime::ALL`].
     pub regime_counts: [usize; 4],
     /// Cases executed per oracle, indexed parallel to [`OracleKind::ALL`].
-    pub oracle_counts: [usize; 8],
+    pub oracle_counts: [usize; 9],
     /// Shrunk mismatches, in discovery order.
     pub mismatches: Vec<Mismatch>,
 }
@@ -862,7 +993,11 @@ mod tests {
                 cores: 3,
                 strategy: Strategy::MPar,
                 oracle,
-                fault_seed: (oracle == OracleKind::FaultRecovery).then_some(5),
+                fault_seed: matches!(
+                    oracle,
+                    OracleKind::FaultRecovery | OracleKind::ShardFailover
+                )
+                .then_some(5),
             };
             check_case(&ft, &case).unwrap_or_else(|m| panic!("{m}"));
         }

@@ -1,0 +1,150 @@
+//! Cluster-level health state machine.
+//!
+//! Each cluster in a [`super::ClusterPool`] is a *fault domain*: its own
+//! machine, fault plan, watchdog and per-core circuit breakers.  This
+//! module reduces those per-core signals to one coarse health state the
+//! placement and shedding policies can act on:
+//!
+//! * **Healthy** — the cluster takes shards normally.
+//! * **Degraded** — the cluster still works but is showing distress
+//!   (accumulated watchdog trips, or enough open circuit breakers that a
+//!   meaningful fraction of its cores is routed around).  Placement
+//!   prefers healthy clusters and uses degraded ones only when needed.
+//! * **Dead** — the whole fault domain failed (an injected
+//!   [`dspsim::FaultPlan::kill_cluster`] fired, surfacing as
+//!   [`dspsim::SimError::ClusterFailed`]).  Dead is terminal: nothing is
+//!   ever scheduled there again; only host-side DDR reads survive for
+//!   checkpoint salvage.
+//!
+//! Transitions are monotone (healthy → degraded → dead): on a
+//! deterministic simulator a cluster that degraded under one workload
+//! would degrade again under the same workload, so "recovering" the
+//! coarse state would only make placement flap.  Fine-grained recovery
+//! still happens *below* this layer — individual breakers half-open and
+//! close again — it just no longer upgrades the cluster's coarse state.
+
+/// Coarse health of one cluster fault domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ClusterHealth {
+    /// Fully serviceable.
+    Healthy,
+    /// Serviceable but showing distress; placed only after healthy
+    /// clusters.
+    Degraded,
+    /// Permanently failed; never placed again.
+    Dead,
+}
+
+impl ClusterHealth {
+    /// Whether shards may still be placed on the cluster.
+    pub fn is_usable(self) -> bool {
+        self != ClusterHealth::Dead
+    }
+
+    /// Stable lower-case name (for reports and traces).
+    pub fn name(self) -> &'static str {
+        match self {
+            ClusterHealth::Healthy => "healthy",
+            ClusterHealth::Degraded => "degraded",
+            ClusterHealth::Dead => "dead",
+        }
+    }
+}
+
+/// Thresholds driving healthy → degraded transitions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthPolicy {
+    /// Cumulative watchdog trips on the cluster's machine at which it
+    /// degrades.
+    pub degrade_watchdog_trips: u64,
+    /// Open (non-admitting) circuit breakers at which it degrades
+    /// (breaker saturation).
+    pub degrade_open_breakers: usize,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        HealthPolicy {
+            degrade_watchdog_trips: 2,
+            degrade_open_breakers: 2,
+        }
+    }
+}
+
+/// The per-cluster state machine: folds observations into the monotone
+/// health lattice.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HealthMonitor {
+    health: Option<ClusterHealth>,
+}
+
+impl HealthMonitor {
+    /// A fresh monitor (healthy).
+    pub fn new() -> Self {
+        HealthMonitor {
+            health: Some(ClusterHealth::Healthy),
+        }
+    }
+
+    /// Current health.
+    pub fn health(&self) -> ClusterHealth {
+        self.health.unwrap_or(ClusterHealth::Healthy)
+    }
+
+    /// Fold in an observation of the cluster's distress signals; returns
+    /// the (possibly advanced) health.  Never moves backwards.
+    pub fn observe(
+        &mut self,
+        policy: &HealthPolicy,
+        watchdog_trips: u64,
+        open_breakers: usize,
+    ) -> ClusterHealth {
+        if watchdog_trips >= policy.degrade_watchdog_trips
+            || open_breakers >= policy.degrade_open_breakers
+        {
+            self.advance_to(ClusterHealth::Degraded);
+        }
+        self.health()
+    }
+
+    /// The fault domain died ([`dspsim::SimError::ClusterFailed`]).
+    pub fn mark_dead(&mut self) {
+        self.advance_to(ClusterHealth::Dead);
+    }
+
+    fn advance_to(&mut self, to: ClusterHealth) {
+        let cur = self.health();
+        self.health = Some(cur.max(to));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transitions_are_monotone() {
+        let policy = HealthPolicy::default();
+        let mut m = HealthMonitor::new();
+        assert_eq!(m.health(), ClusterHealth::Healthy);
+        // Below both thresholds: stays healthy.
+        assert_eq!(m.observe(&policy, 1, 1), ClusterHealth::Healthy);
+        // Breaker saturation degrades.
+        assert_eq!(m.observe(&policy, 0, 2), ClusterHealth::Degraded);
+        // A calm observation does not upgrade back.
+        assert_eq!(m.observe(&policy, 0, 0), ClusterHealth::Degraded);
+        m.mark_dead();
+        assert_eq!(m.health(), ClusterHealth::Dead);
+        // Dead is terminal.
+        assert_eq!(m.observe(&policy, 0, 0), ClusterHealth::Dead);
+        assert!(!m.health().is_usable());
+    }
+
+    #[test]
+    fn watchdog_trips_degrade() {
+        let policy = HealthPolicy::default();
+        let mut m = HealthMonitor::new();
+        assert_eq!(m.observe(&policy, 2, 0), ClusterHealth::Degraded);
+        assert!(m.health().is_usable());
+    }
+}

@@ -1,0 +1,45 @@
+//! Multi-cluster sharded GEMM service: cluster-level fault domains with
+//! checkpointed shard failover.
+//!
+//! The FT-m7032 the paper targets carries **four GPDSP clusters** plus a
+//! 16-core CPU front end (§II); the rest of this crate simulates exactly
+//! one cluster.  This module is the front end: a [`ClusterPool`] of N
+//! independent [`dspsim::Machine`]s — each a *fault domain* with its own
+//! [`dspsim::FaultPlan`], watchdog and per-core
+//! [`crate::CircuitBreaker`]s — driven by a [`ShardedEngine`] that
+//! generalises the single-machine [`crate::JobQueue`]:
+//!
+//! * **Planning** — one GEMM is split across clusters by the
+//!   multi-device plan IR ([`crate::plan::sharded`]): the full shape is
+//!   planned once through the LRU plan cache, and the analytic cost
+//!   model picks the M-stripe shard count (per-shard time + serialised
+//!   launch overhead, the work-group tradeoff of the DPU partitioner).
+//! * **Health** — each cluster runs a monotone healthy → degraded → dead
+//!   state machine ([`ClusterHealth`]) fed by watchdog trips, breaker
+//!   saturation and injected cluster death; placement is load-aware and
+//!   prefers healthy clusters.
+//! * **Failover** — a shard whose cluster dies mid-run resumes from its
+//!   last `ckpt_rows` row-span checkpoint on a surviving cluster, and
+//!   the merged result is bitwise identical to a fault-free
+//!   single-cluster checkpointed run of the same plan and ckpt grid
+//!   (shard boundaries and salvage points sit on that grid, the plan
+//!   and core count are pinned — see [`crate::plan::sharded`]).
+//! * **Admission control** — per-tenant quotas, priorities and default
+//!   deadlines; lowest-priority jobs are shed first under degraded
+//!   capacity, and every submitted [`crate::JobId`] gets exactly one
+//!   terminal [`ShardedOutcome`].
+//!
+//! See DESIGN.md §4.3 for the full model and invariants.
+
+pub mod health;
+pub mod pool;
+pub mod sharded;
+pub mod tenant;
+
+pub use health::{ClusterHealth, HealthMonitor, HealthPolicy};
+pub use pool::{ClusterNode, ClusterPool};
+pub use sharded::{
+    FailoverEvent, ShardRun, ShardedConfig, ShardedEngine, ShardedJob, ShardedOutcome,
+    ShardedRecord, ShardedReport,
+};
+pub use tenant::{TenantId, TenantSpec, TenantTable};

@@ -1,0 +1,809 @@
+//! The sharded GEMM engine: multi-tenant jobs planned across a
+//! [`ClusterPool`] with checkpointed shard failover.
+//!
+//! [`ShardedEngine`] generalises the single-machine [`crate::JobQueue`]
+//! to N cluster fault domains.  Jobs are host-resident (`A`, `B`, `C`
+//! live in host memory, like [`crate::ClusterGrid`]): each shard stages
+//! its stripe onto its cluster's private DDR partition, runs through the
+//! resilience layer with the *pinned* full-shape plan, and merges its
+//! verified rows back.  Pinning matters twice over: replanning a shard's
+//! smaller sub-shape could pick different blocks, and resuming with a
+//! different core count would regroup the K-parallel reduction — either
+//! would break the engine's core invariant that the merged result is
+//! **bitwise identical** to a fault-free single-cluster checkpointed
+//! run of the same plan and `ckpt_rows` grid (shard boundaries are
+//! quantised to that grid — see [`crate::plan::sharded`] for why the
+//! grid, not the row split, is what accumulation order depends on).
+//!
+//! **Failover.** A shard whose cluster dies mid-run
+//! ([`dspsim::SimError::ClusterFailed`], injected via
+//! [`dspsim::FaultPlan::kill_cluster`]) is not lost: the resilience
+//! layer's row-span checkpoints mean the first `rows_verified` rows of
+//! the stripe are complete and ABFT-verified in the dead cluster's DDR,
+//! which outlives the cluster for host reads.  The engine salvages those
+//! rows, marks the fault domain dead, and resumes the *remainder* of the
+//! stripe on the best surviving cluster — same plan, same core count —
+//! so recovery costs one partial stripe re-run, not the job.
+//!
+//! **Admission control.** Tenants carry priorities, quotas and default
+//! deadlines ([`super::TenantSpec`]).  Over-quota submissions are
+//! terminally rejected at submit; when capacity degrades (clusters die)
+//! the queue is shed lowest-priority-first.  Every submitted [`JobId`]
+//! reaches exactly one terminal [`ShardedOutcome`] — nothing is ever
+//! silently dropped.
+
+use super::pool::ClusterPool;
+use super::tenant::{TenantId, TenantSpec, TenantTable};
+use crate::engine::{EngineConfig, JobId};
+use crate::grid::LAUNCH_OVERHEAD_S;
+use crate::plan::sharded::{plan_sharded, Shard, ShardedPlan};
+use crate::{ExecRun, Executor, FtImm, FtimmError, GemmProblem, GemmShape, Strategy};
+use dspsim::{Profiler, SimError, DEFAULT_PROFILE_CAPACITY};
+use std::collections::VecDeque;
+
+/// Tuning knobs for the sharded engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardedConfig {
+    /// Breaker/resilience knobs shared with the single-cluster engine.
+    /// `engine.resilience.ckpt_rows` is both the failover checkpoint
+    /// grain (a dead shard resumes from its last completed row span)
+    /// and the shard-boundary grid (see [`crate::plan::sharded`]); 0
+    /// disables checkpointing and forces single-shard plans, so
+    /// [`ShardedConfig::default`] overrides the all-purpose
+    /// [`EngineConfig::default`] with a non-zero grain.
+    pub engine: EngineConfig,
+    /// Queued jobs one usable cluster is expected to absorb; when the
+    /// queue exceeds `usable_clusters × this`, lowest-priority jobs are
+    /// shed (graceful degradation after cluster deaths).
+    pub max_queue_per_cluster: usize,
+    /// Record per-cluster profiles for Chrome-trace export.
+    pub profile: bool,
+    /// Span-ring capacity per shard dispatch when profiling.
+    pub profile_capacity: usize,
+}
+
+impl Default for ShardedConfig {
+    fn default() -> Self {
+        ShardedConfig {
+            engine: EngineConfig {
+                resilience: crate::ResilienceConfig {
+                    ckpt_rows: 64,
+                    ..crate::ResilienceConfig::default()
+                },
+                ..EngineConfig::default()
+            },
+            max_queue_per_cluster: 64,
+            profile: false,
+            profile_capacity: DEFAULT_PROFILE_CAPACITY,
+        }
+    }
+}
+
+/// A host-resident GEMM job: `C += A × B` with row-major dense buffers.
+/// In timing mode the buffers may be empty (no data is touched).
+pub struct ShardedJob {
+    /// Rows of A/C.
+    pub m: usize,
+    /// Columns of B/C.
+    pub n: usize,
+    /// Inner dimension.
+    pub k: usize,
+    /// Host A (`m × k`).
+    pub a: Vec<f32>,
+    /// Host B (`k × n`).
+    pub b: Vec<f32>,
+    /// Host C accumulator (`m × n`), updated in the outcome.
+    pub c: Vec<f32>,
+    /// Planning strategy.
+    pub strategy: Strategy,
+    /// Cores per cluster (kept constant across failover for bitwise
+    /// identity).
+    pub cores: usize,
+    /// Per-job deadline in simulated seconds (each shard is armed with
+    /// this budget); falls back to the tenant's default.
+    pub deadline_s: Option<f64>,
+}
+
+impl ShardedJob {
+    /// A functional job over host buffers.
+    #[allow(clippy::too_many_arguments)]
+    pub fn gemm(
+        m: usize,
+        n: usize,
+        k: usize,
+        a: Vec<f32>,
+        b: Vec<f32>,
+        c: Vec<f32>,
+        strategy: Strategy,
+        cores: usize,
+    ) -> Self {
+        ShardedJob {
+            m,
+            n,
+            k,
+            a,
+            b,
+            c,
+            strategy,
+            cores,
+            deadline_s: None,
+        }
+    }
+
+    /// A data-free job for timing-mode pools (paper-scale sweeps).
+    pub fn timing(m: usize, n: usize, k: usize, strategy: Strategy, cores: usize) -> Self {
+        ShardedJob::gemm(m, n, k, Vec::new(), Vec::new(), Vec::new(), strategy, cores)
+    }
+
+    /// Set the job's deadline (simulated seconds per shard dispatch).
+    pub fn with_deadline(mut self, seconds: f64) -> Self {
+        self.deadline_s = Some(seconds);
+        self
+    }
+
+    fn shape(&self) -> GemmShape {
+        GemmShape::new(self.m, self.n, self.k)
+    }
+}
+
+/// One shard dispatch that ran (possibly partially, if its cluster died).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardRun {
+    /// Cluster the dispatch ran on.
+    pub cluster: usize,
+    /// First C row covered.
+    pub r0: usize,
+    /// One past the last C row *completed* (on cluster death this is the
+    /// salvage point, not the stripe end).
+    pub r1: usize,
+    /// Simulated seconds the dispatch occupied the cluster.
+    pub seconds: f64,
+}
+
+/// A shard failover: where the stripe died and where it resumed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailoverEvent {
+    /// The cluster that died.
+    pub from: usize,
+    /// The surviving cluster the remainder resumed on.
+    pub to: usize,
+    /// First row of the resumed remainder (== salvage checkpoint).
+    pub at_row: usize,
+    /// Rows salvaged from the dead cluster's checkpointed DDR.
+    pub rows_salvaged: usize,
+    /// Rows re-staged and re-run on the surviving cluster.
+    pub rows_resumed: usize,
+}
+
+/// Report of one completed sharded job.
+#[derive(Debug, Clone)]
+pub struct ShardedReport {
+    /// The multi-device plan the job ran under.
+    pub plan: ShardedPlan,
+    /// Every shard dispatch, in execution order (failover remainders
+    /// appear as extra entries).
+    pub shard_runs: Vec<ShardRun>,
+    /// Shard failovers absorbed by the job.
+    pub failovers: Vec<FailoverEvent>,
+    /// End-to-end simulated seconds: slowest cluster's busy time plus
+    /// the serialised launch overhead per dispatch.
+    pub seconds: f64,
+    /// Useful flops of the whole problem.
+    pub useful_flops: u64,
+}
+
+impl ShardedReport {
+    /// Aggregate GFLOPS.
+    pub fn gflops(&self) -> f64 {
+        self.useful_flops as f64 / self.seconds / 1e9
+    }
+}
+
+/// Terminal state of one sharded job.  Every submitted [`JobId`] gets
+/// exactly one of these — the sharded analogue of
+/// [`crate::JobOutcome`], extended with the admission-control verdicts.
+#[derive(Debug)]
+pub enum ShardedOutcome {
+    /// The job finished (possibly after absorbed faults and failovers);
+    /// `c` is the merged accumulator, bitwise identical to a fault-free
+    /// single-cluster checkpointed run of the same plan and ckpt grid.
+    Completed {
+        /// Updated host C.
+        c: Vec<f32>,
+        /// The run's report.
+        report: Box<ShardedReport>,
+    },
+    /// Admission control refused the job at submit (unknown tenant or
+    /// over quota).
+    Rejected {
+        /// Why.
+        reason: String,
+    },
+    /// The job was shed from the queue under degraded capacity.
+    Shed {
+        /// The owning tenant's priority (lowest shed first).
+        priority: u8,
+        /// Why.
+        reason: String,
+    },
+    /// A shard passed the job's deadline and was preempted.
+    DeadlineExceeded {
+        /// Simulated time the watchdog tripped.
+        at: f64,
+        /// Total C rows verified across all shards by then.
+        rows_verified: usize,
+        /// The job's M dimension.
+        rows_total: usize,
+    },
+    /// The job cannot complete (invalid problem, or every cluster died).
+    Failed {
+        /// The error.
+        error: FtimmError,
+    },
+}
+
+impl ShardedOutcome {
+    /// Stable lower-case label (reports, logs).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ShardedOutcome::Completed { .. } => "completed",
+            ShardedOutcome::Rejected { .. } => "rejected",
+            ShardedOutcome::Shed { .. } => "shed",
+            ShardedOutcome::DeadlineExceeded { .. } => "deadline_exceeded",
+            ShardedOutcome::Failed { .. } => "failed",
+        }
+    }
+}
+
+/// A drained job: id, owning tenant and terminal outcome.
+#[derive(Debug)]
+pub struct ShardedRecord {
+    /// Engine-assigned id (submission order).
+    pub id: JobId,
+    /// The tenant the job was submitted for.
+    pub tenant: TenantId,
+    /// Terminal state.
+    pub outcome: ShardedOutcome,
+}
+
+/// The multi-cluster front end: admission control, cost-model shard
+/// placement, health-aware scheduling and checkpointed failover over a
+/// [`ClusterPool`].  See the module docs for the model.
+pub struct ShardedEngine {
+    pool: ClusterPool,
+    cfg: ShardedConfig,
+    tenants: TenantTable,
+    queue: VecDeque<(JobId, TenantId, ShardedJob)>,
+    records: Vec<ShardedRecord>,
+    next_id: u64,
+    profilers: Vec<Vec<Profiler>>,
+}
+
+impl ShardedEngine {
+    /// Build an engine over a pool.
+    pub fn new(pool: ClusterPool, cfg: ShardedConfig) -> Self {
+        let clusters = pool.len();
+        ShardedEngine {
+            pool,
+            cfg,
+            tenants: TenantTable::new(),
+            queue: VecDeque::new(),
+            records: Vec::new(),
+            next_id: 0,
+            profilers: vec![Vec::new(); clusters],
+        }
+    }
+
+    /// The underlying pool (health, machines).
+    pub fn pool(&self) -> &ClusterPool {
+        &self.pool
+    }
+
+    /// Install a fault plan into one cluster's fault domain.
+    pub fn install_faults(&mut self, cluster: usize, plan: &dspsim::FaultPlan) {
+        self.pool.install_faults(cluster, plan);
+    }
+
+    /// Register a tenant.
+    pub fn register_tenant(&mut self, spec: TenantSpec) -> TenantId {
+        self.tenants.register(spec)
+    }
+
+    /// Submit a job on behalf of a tenant.  Always returns a fresh
+    /// [`JobId`]; a job refused by admission control is recorded with a
+    /// terminal [`ShardedOutcome::Rejected`] rather than dropped.
+    pub fn submit(&mut self, tenant: TenantId, job: ShardedJob) -> JobId {
+        let id = JobId(self.next_id);
+        self.next_id += 1;
+        match self.tenants.admit(tenant) {
+            Ok(()) => self.queue.push_back((id, tenant, job)),
+            Err(reason) => self.records.push(ShardedRecord {
+                id,
+                tenant,
+                outcome: ShardedOutcome::Rejected { reason },
+            }),
+        }
+        id
+    }
+
+    /// Per-cluster profiler recordings (one entry per shard dispatch)
+    /// accumulated while [`ShardedConfig::profile`] is on; drained by
+    /// the caller for Chrome-trace export.
+    pub fn take_profilers(&mut self) -> Vec<Vec<Profiler>> {
+        std::mem::replace(&mut self.profilers, vec![Vec::new(); self.pool.len()])
+    }
+
+    /// Drain the queue: run every queued job to a terminal outcome and
+    /// return all records (including submit-time rejections) in id
+    /// order.
+    pub fn run_all(&mut self, ft: &FtImm) -> Vec<ShardedRecord> {
+        loop {
+            self.tick_breakers();
+            self.shed_over_capacity();
+            let Some((id, tenant, job)) = self.queue.pop_front() else {
+                break;
+            };
+            self.tenants.release(tenant);
+            let outcome = if self.pool.placement().is_empty() {
+                ShardedOutcome::Failed {
+                    error: FtimmError::Invalid(
+                        "no usable clusters: every fault domain is dead".into(),
+                    ),
+                }
+            } else {
+                self.run_job(ft, tenant, job)
+            };
+            self.records.push(ShardedRecord {
+                id,
+                tenant,
+                outcome,
+            });
+        }
+        let mut records = std::mem::take(&mut self.records);
+        records.sort_by_key(|r| r.id);
+        records
+    }
+
+    // ------------------------------------------------------------ internals
+
+    /// Move open breakers towards half-open on each cluster's clock.
+    fn tick_breakers(&mut self) {
+        let cooldown = self.cfg.engine.breaker_cooldown_s;
+        for ci in 0..self.pool.len() {
+            let node = self.pool.node_mut(ci);
+            let now = node.machine.elapsed();
+            for b in &mut node.breakers {
+                b.tick(now, cooldown);
+            }
+        }
+    }
+
+    /// Shed lowest-priority queued jobs while the queue exceeds the
+    /// usable clusters' capacity.  Within one priority the most recently
+    /// submitted job is shed first.
+    fn shed_over_capacity(&mut self) {
+        if self.pool.usable() == 0 {
+            // No capacity to degrade towards: the drain loop fails the
+            // remaining jobs terminally instead of shedding them.
+            return;
+        }
+        let capacity = self.pool.usable() * self.cfg.max_queue_per_cluster;
+        while self.queue.len() > capacity {
+            let min_pri = self
+                .queue
+                .iter()
+                .map(|(_, t, _)| self.tenants.priority(*t))
+                .min()
+                .expect("queue is non-empty");
+            let idx = self
+                .queue
+                .iter()
+                .rposition(|(_, t, _)| self.tenants.priority(*t) == min_pri)
+                .expect("a minimum exists");
+            let (id, tenant, _job) = self.queue.remove(idx).expect("index in range");
+            self.tenants.release(tenant);
+            self.records.push(ShardedRecord {
+                id,
+                tenant,
+                outcome: ShardedOutcome::Shed {
+                    priority: min_pri,
+                    reason: format!(
+                        "queue {} over capacity {} ({} usable clusters)",
+                        self.queue.len() + 1,
+                        capacity,
+                        self.pool.usable()
+                    ),
+                },
+            });
+        }
+    }
+
+    /// Feed one shard dispatch's fault record into the cluster's
+    /// breakers and health monitor.  Unlike [`crate::JobQueue`] the
+    /// sharded engine never shrinks a cluster's core map (that would
+    /// regroup reductions and break bitwise identity); breakers here
+    /// drive the *health* state, pushing placement away from distressed
+    /// clusters.
+    fn absorb(&mut self, ci: usize, exec: &ExecRun) {
+        let threshold = self.cfg.engine.breaker_threshold;
+        let node = self.pool.node_mut(ci);
+        let now = node.machine.elapsed();
+        for &core in &exec.fault_cores {
+            if let Some(b) = node.breakers.get_mut(core) {
+                b.record_fault(threshold, now);
+            }
+        }
+        if exec.result.is_ok() {
+            let map = node.machine.core_map().to_vec();
+            for p in map {
+                if !exec.fault_cores.contains(&p) {
+                    node.breakers[p].record_success();
+                }
+            }
+        }
+        self.pool.observe(ci);
+    }
+
+    /// Run one job to a terminal outcome: plan across usable clusters,
+    /// dispatch shards, fail over on cluster death, merge.
+    fn run_job(&mut self, ft: &FtImm, tenant: TenantId, mut job: ShardedJob) -> ShardedOutcome {
+        let shape = job.shape();
+        let functional = self.pool.node(0).machine.mode.is_functional();
+        if functional
+            && (job.a.len() != job.m * job.k
+                || job.b.len() != job.k * job.n
+                || job.c.len() != job.m * job.n)
+        {
+            return ShardedOutcome::Failed {
+                error: FtimmError::Invalid(format!(
+                    "host buffer sizes do not match {}x{}x{}",
+                    job.m, job.n, job.k
+                )),
+            };
+        }
+        let deadline = job
+            .deadline_s
+            .or_else(|| self.tenants.spec(tenant).and_then(|s| s.default_deadline_s));
+        let splan = plan_sharded(
+            ft,
+            &shape,
+            job.strategy,
+            job.cores,
+            &self.pool.placement(),
+            self.cfg.engine.resilience.ckpt_rows,
+        );
+        let mut work: VecDeque<Shard> = splan.shards.iter().copied().collect();
+        let mut shard_runs = Vec::new();
+        let mut failovers = Vec::new();
+        let mut busy = vec![0.0f64; self.pool.len()];
+        let mut launches = 0usize;
+        let mut rows_done = 0usize;
+
+        while let Some(shard) = work.pop_front() {
+            launches += 1;
+            let (mut exec, problem, dt) = match self.run_shard(ft, &splan, &job, shard, deadline) {
+                Ok(run) => run,
+                Err(error) => return ShardedOutcome::Failed { error },
+            };
+            busy[shard.cluster] += dt;
+            if let Some(prof) = exec.profiler.take() {
+                self.profilers[shard.cluster].push(prof);
+            }
+            self.absorb(shard.cluster, &exec);
+            match exec.result {
+                Ok(_) => {
+                    if functional {
+                        let m = &mut self.pool.node_mut(shard.cluster).machine;
+                        match problem.c.download(m) {
+                            Ok(out) => {
+                                job.c[shard.r0 * job.n..shard.r1 * job.n].copy_from_slice(&out)
+                            }
+                            Err(e) => return ShardedOutcome::Failed { error: e.into() },
+                        }
+                    }
+                    rows_done += shard.rows();
+                    shard_runs.push(ShardRun {
+                        cluster: shard.cluster,
+                        r0: shard.r0,
+                        r1: shard.r1,
+                        seconds: dt,
+                    });
+                }
+                Err(e) if e.is_cluster_death() => {
+                    self.pool.mark_dead(shard.cluster);
+                    let salvaged = exec.rows_verified.min(shard.rows());
+                    if functional && salvaged > 0 {
+                        let m = &mut self.pool.node_mut(shard.cluster).machine;
+                        // The DDR partition outlives the cluster: salvage
+                        // the checkpoint-verified rows host-side.
+                        let span = problem.c.view(0, 0, salvaged, job.n);
+                        match span.download(m) {
+                            Ok(out) => job.c[shard.r0 * job.n..(shard.r0 + salvaged) * job.n]
+                                .copy_from_slice(&out),
+                            Err(e) => return ShardedOutcome::Failed { error: e.into() },
+                        }
+                    }
+                    rows_done += salvaged;
+                    shard_runs.push(ShardRun {
+                        cluster: shard.cluster,
+                        r0: shard.r0,
+                        r1: shard.r0 + salvaged,
+                        seconds: dt,
+                    });
+                    if salvaged == shard.rows() {
+                        continue; // died after its last span: nothing to resume
+                    }
+                    let Some(&to) = self.pool.placement().first() else {
+                        return ShardedOutcome::Failed { error: e };
+                    };
+                    failovers.push(FailoverEvent {
+                        from: shard.cluster,
+                        to,
+                        at_row: shard.r0 + salvaged,
+                        rows_salvaged: salvaged,
+                        rows_resumed: shard.r1 - shard.r0 - salvaged,
+                    });
+                    work.push_front(Shard {
+                        cluster: to,
+                        r0: shard.r0 + salvaged,
+                        r1: shard.r1,
+                    });
+                }
+                Err(e) if e.is_deadline() => {
+                    let at = match &e {
+                        FtimmError::Sim(SimError::WatchdogTripped { at, .. }) => *at,
+                        _ => 0.0,
+                    };
+                    return ShardedOutcome::DeadlineExceeded {
+                        at,
+                        rows_verified: rows_done + exec.rows_verified,
+                        rows_total: job.m,
+                    };
+                }
+                Err(error) => return ShardedOutcome::Failed { error },
+            }
+        }
+
+        let worst = busy.iter().copied().fold(0.0f64, f64::max);
+        ShardedOutcome::Completed {
+            c: std::mem::take(&mut job.c),
+            report: Box::new(ShardedReport {
+                plan: splan,
+                shard_runs,
+                failovers,
+                seconds: worst + LAUNCH_OVERHEAD_S * launches as f64,
+                useful_flops: shape.flops(),
+            }),
+        }
+    }
+
+    /// Stage and dispatch one shard on its cluster; returns the exec
+    /// record, the staged problem (for salvage downloads) and the
+    /// simulated seconds the dispatch occupied the cluster.
+    fn run_shard(
+        &mut self,
+        ft: &FtImm,
+        splan: &ShardedPlan,
+        job: &ShardedJob,
+        shard: Shard,
+        deadline: Option<f64>,
+    ) -> Result<(ExecRun, GemmProblem, f64), FtimmError> {
+        let cfg = self.cfg;
+        let node = self.pool.node_mut(shard.cluster);
+        let m = &mut node.machine;
+        let t0 = m.elapsed();
+        m.ddr.reset_alloc();
+        let problem = GemmProblem::alloc(m, shard.rows(), job.n, job.k)?;
+        if m.mode.is_functional() {
+            problem
+                .a
+                .upload(m, &job.a[shard.r0 * job.k..shard.r1 * job.k])?;
+            problem.b.upload(m, &job.b)?;
+            problem
+                .c
+                .upload(m, &job.c[shard.r0 * job.n..shard.r1 * job.n])?;
+        }
+        let mut ex = Executor::new(ft)
+            .with_plan(splan.plan.strategy)
+            .cores(job.cores)
+            .resilient(cfg.engine.resilience)
+            .with_deadline(deadline)
+            .dma_budget(cfg.engine.dma_budget_s);
+        if cfg.profile {
+            ex = ex.profiled().profile_capacity(cfg.profile_capacity);
+        }
+        let exec = ex.dispatch(m, &problem)?;
+        let dt = m.elapsed() - t0;
+        Ok((exec, problem, dt))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterHealth;
+    use crate::reference::fill_matrix;
+    use crate::resilience::ResilienceConfig;
+    use dspsim::{ExecMode, FaultPlan, HwConfig, Machine};
+
+    const M: usize = 96;
+    const N: usize = 16;
+    const K: usize = 24;
+    const CORES: usize = 4;
+
+    fn test_cfg() -> ShardedConfig {
+        ShardedConfig {
+            engine: EngineConfig {
+                resilience: ResilienceConfig {
+                    ckpt_rows: 8,
+                    ..ResilienceConfig::default()
+                },
+                ..EngineConfig::default()
+            },
+            ..ShardedConfig::default()
+        }
+    }
+
+    fn job() -> ShardedJob {
+        ShardedJob::gemm(
+            M,
+            N,
+            K,
+            fill_matrix(M * K, 1),
+            fill_matrix(K * N, 2),
+            fill_matrix(M * N, 3),
+            Strategy::Auto,
+            CORES,
+        )
+    }
+
+    /// Fault-free single-cluster *checkpointed* run with the same pinned
+    /// plan and ckpt grid — the bitwise oracle for everything sharded
+    /// (checkpoint spans re-anchor the kernel blocking, so a plain
+    /// un-checkpointed run is not bit-comparable).
+    fn single_cluster_oracle(ft: &FtImm) -> Vec<f32> {
+        let mut m = Machine::new(HwConfig::default(), ExecMode::Fast);
+        let p = GemmProblem::alloc(&mut m, M, N, K).unwrap();
+        p.a.upload(&mut m, &fill_matrix(M * K, 1)).unwrap();
+        p.b.upload(&mut m, &fill_matrix(K * N, 2)).unwrap();
+        p.c.upload(&mut m, &fill_matrix(M * N, 3)).unwrap();
+        let plan = ft.plan_full(&GemmShape::new(M, N, K), Strategy::Auto, CORES);
+        Executor::new(ft)
+            .with_plan(plan.strategy)
+            .cores(CORES)
+            .resilient(test_cfg().engine.resilience)
+            .run(&mut m, &p)
+            .unwrap();
+        p.c.download(&mut m).unwrap()
+    }
+
+    fn assert_bits_eq(got: &[f32], want: &[f32]) {
+        assert_eq!(got.len(), want.len());
+        for (i, (g, w)) in got.iter().zip(want).enumerate() {
+            assert!(
+                g.to_bits() == w.to_bits(),
+                "bit mismatch at {i}: {g} vs {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn fault_free_sharded_run_is_bitwise_identical_to_single_cluster() {
+        let ft = FtImm::new(HwConfig::default());
+        let pool = ClusterPool::new(&HwConfig::default(), ExecMode::Fast, 3);
+        let mut eng = ShardedEngine::new(pool, test_cfg());
+        let t = eng.register_tenant(TenantSpec::new("ci", 5));
+        let id = eng.submit(t, job());
+        let records = eng.run_all(&ft);
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].id, id);
+        let ShardedOutcome::Completed { c, report } = &records[0].outcome else {
+            panic!("expected completion, got {}", records[0].outcome.label());
+        };
+        assert!(report.failovers.is_empty());
+        assert_bits_eq(c, &single_cluster_oracle(&ft));
+    }
+
+    #[test]
+    fn cluster_death_mid_run_fails_over_and_stays_bitwise_identical() {
+        let ft = FtImm::new(HwConfig::default());
+
+        // Measure how long the first shard keeps its cluster busy when
+        // nothing fails, so the kill lands mid-shard.
+        let pool = ClusterPool::new(&HwConfig::default(), ExecMode::Fast, 2);
+        let mut eng = ShardedEngine::new(pool, test_cfg());
+        let t = eng.register_tenant(TenantSpec::new("probe", 5));
+        eng.submit(t, job());
+        let records = eng.run_all(&ft);
+        let ShardedOutcome::Completed { report, .. } = &records[0].outcome else {
+            panic!("probe run failed");
+        };
+        let shard0 = report.shard_runs[0];
+        assert!(shard0.seconds > 0.0);
+
+        // Now kill shard 0's cluster halfway through that window.
+        let pool = ClusterPool::new(&HwConfig::default(), ExecMode::Fast, 2);
+        let mut eng = ShardedEngine::new(pool, test_cfg());
+        eng.install_faults(0, &FaultPlan::new(1).kill_cluster(shard0.seconds * 0.5));
+        let t = eng.register_tenant(TenantSpec::new("chaos", 5));
+        let id = eng.submit(t, job());
+        let records = eng.run_all(&ft);
+        assert_eq!(records[0].id, id);
+        let ShardedOutcome::Completed { c, report } = &records[0].outcome else {
+            panic!("expected completion, got {}", records[0].outcome.label());
+        };
+        assert_eq!(report.failovers.len(), 1);
+        let fo = report.failovers[0];
+        assert_eq!(fo.from, 0);
+        assert_eq!(fo.to, 1);
+        assert!(fo.rows_salvaged % 8 == 0, "salvage lands on a checkpoint");
+        assert_eq!(eng.pool().health(0), ClusterHealth::Dead);
+        assert_bits_eq(c, &single_cluster_oracle(&ft));
+    }
+
+    #[test]
+    fn quota_rejection_and_shedding_are_terminal_outcomes() {
+        let ft = FtImm::new(HwConfig::default());
+        let pool = ClusterPool::new(&HwConfig::default(), ExecMode::Fast, 2);
+        let mut eng = ShardedEngine::new(
+            pool,
+            ShardedConfig {
+                max_queue_per_cluster: 2,
+                ..test_cfg()
+            },
+        );
+        let gold = eng.register_tenant(TenantSpec::new("gold", 9).with_quota(2));
+        let best = eng.register_tenant(TenantSpec::new("best-effort", 1).with_quota(2));
+        let ids = [
+            eng.submit(gold, job()),
+            eng.submit(best, job()),
+            eng.submit(gold, job()),
+            eng.submit(best, job()),
+            eng.submit(best, job()), // over best-effort's quota of 2
+        ];
+        // Kill cluster 0 before anything runs: capacity halves to 1, so
+        // the 3-deep queue sheds its lowest-priority jobs.
+        eng.install_faults(0, &FaultPlan::new(2).kill_cluster(0.0));
+        eng.pool.mark_dead(0);
+        let records = eng.run_all(&ft);
+        assert_eq!(records.len(), ids.len());
+        let labels: Vec<&str> = records.iter().map(|r| r.outcome.label()).collect();
+        // Every submitted job reached a terminal outcome; gold survived,
+        // best-effort was shed/rejected.
+        assert_eq!(
+            labels,
+            vec!["completed", "shed", "completed", "shed", "rejected"]
+        );
+        for (r, id) in records.iter().zip(ids) {
+            assert_eq!(r.id, id);
+        }
+    }
+
+    #[test]
+    fn all_clusters_dead_fails_jobs_terminally() {
+        let ft = FtImm::new(HwConfig::default());
+        let pool = ClusterPool::new(&HwConfig::default(), ExecMode::Fast, 1);
+        let mut eng = ShardedEngine::new(pool, test_cfg());
+        eng.pool.mark_dead(0);
+        let t = eng.register_tenant(TenantSpec::new("t", 1));
+        eng.submit(t, job());
+        let records = eng.run_all(&ft);
+        assert_eq!(records[0].outcome.label(), "failed");
+    }
+
+    #[test]
+    fn timing_mode_jobs_run_without_data() {
+        let ft = FtImm::new(HwConfig::default());
+        let pool = ClusterPool::new(&HwConfig::default(), ExecMode::Timing, 4);
+        let mut eng = ShardedEngine::new(pool, test_cfg());
+        let t = eng.register_tenant(TenantSpec::new("sweep", 5));
+        eng.submit(t, ShardedJob::timing(1 << 16, 32, 32, Strategy::Auto, 8));
+        let records = eng.run_all(&ft);
+        let ShardedOutcome::Completed { report, .. } = &records[0].outcome else {
+            panic!("timing job failed: {}", records[0].outcome.label());
+        };
+        assert!(report.plan.clusters_used() > 1);
+        assert!(report.seconds > 0.0);
+        assert!(report.gflops() > 0.0);
+    }
+}

@@ -208,15 +208,29 @@ pub enum BreakerState {
 }
 
 /// Per-core breaker bookkeeping (simulated-clock driven).
+///
+/// Public so supervisors above [`JobQueue`] (the multi-cluster
+/// [`crate::cluster::ShardedEngine`], property tests) can run the same
+/// state machine per fault domain: Closed counts consecutive faults and
+/// opens at a threshold, Open waits out a cooldown on the simulated
+/// clock, HalfOpen admits one canary probe whose outcome either closes
+/// or re-opens the breaker.
 #[derive(Debug, Clone, Copy)]
-struct CircuitBreaker {
+pub struct CircuitBreaker {
     state: BreakerState,
     consecutive_faults: u32,
     opened_at: f64,
 }
 
+impl Default for CircuitBreaker {
+    fn default() -> Self {
+        CircuitBreaker::new()
+    }
+}
+
 impl CircuitBreaker {
-    fn new() -> Self {
+    /// A fresh breaker: Closed with no faults on record.
+    pub fn new() -> Self {
         CircuitBreaker {
             state: BreakerState::Closed,
             consecutive_faults: 0,
@@ -224,8 +238,19 @@ impl CircuitBreaker {
         }
     }
 
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Consecutive faults recorded since the last success (resets on
+    /// [`CircuitBreaker::record_success`]).
+    pub fn consecutive_faults(&self) -> u32 {
+        self.consecutive_faults
+    }
+
     /// The core was implicated in a transient fault at simulated `now`.
-    fn record_fault(&mut self, threshold: u32, now: f64) {
+    pub fn record_fault(&mut self, threshold: u32, now: f64) {
         match self.state {
             BreakerState::Closed => {
                 self.consecutive_faults += 1;
@@ -243,20 +268,20 @@ impl CircuitBreaker {
     }
 
     /// The core completed work without a fault.
-    fn record_success(&mut self) {
+    pub fn record_success(&mut self) {
         self.consecutive_faults = 0;
         self.state = BreakerState::Closed;
     }
 
     /// Move Open → HalfOpen once the cooldown has elapsed.
-    fn tick(&mut self, now: f64, cooldown_s: f64) {
+    pub fn tick(&mut self, now: f64, cooldown_s: f64) {
         if self.state == BreakerState::Open && now - self.opened_at >= cooldown_s {
             self.state = BreakerState::HalfOpen;
         }
     }
 
     /// Whether the core may take regular work right now.
-    fn admits_work(&self) -> bool {
+    pub fn admits_work(&self) -> bool {
         self.state == BreakerState::Closed
     }
 }

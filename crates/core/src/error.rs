@@ -35,6 +35,15 @@ impl FtimmError {
         )
     }
 
+    /// Whether this error is a whole-cluster death (injected via
+    /// [`dspsim::FaultPlan::kill_cluster`]).  Not transient: the fault
+    /// domain is gone and no retry on the same machine can succeed — the
+    /// sharded engine recovers by failing the shard over to a surviving
+    /// cluster instead.
+    pub fn is_cluster_death(&self) -> bool {
+        matches!(self, FtimmError::Sim(SimError::ClusterFailed { .. }))
+    }
+
     /// Whether this error is a deadline preemption (the armed watchdog
     /// stopped a core that passed its deadline).
     pub fn is_deadline(&self) -> bool {

@@ -135,55 +135,76 @@ fn event_tid(kind: EventKind, core: Option<usize>) -> usize {
 /// document (timestamps in microseconds of *simulated* time), loadable
 /// in `chrome://tracing` or Perfetto.
 pub fn chrome_trace_json(profiler: &Profiler) -> String {
-    let mut tids: BTreeSet<usize> = BTreeSet::new();
-    for s in profiler.spans() {
-        tids.insert(span_tid(s.phase, s.core));
-    }
-    for e in profiler.events() {
-        tids.insert(event_tid(e.kind, e.core));
-    }
+    chrome_trace_json_clusters(&[("ftimm dspsim cluster".to_string(), vec![profiler])])
+}
 
+/// Multi-cluster Chrome trace: each `(label, recordings)` pair becomes
+/// one trace *process* (`pid` = cluster index) with the usual per-core
+/// compute/DMA tracks inside, so a sharded run renders as side-by-side
+/// cluster swimlanes.  A cluster may contribute several recordings (one
+/// per shard dispatch); they share the cluster's simulated clock, so
+/// their spans interleave correctly on the shared time axis.
+pub fn chrome_trace_json_clusters(clusters: &[(String, Vec<&Profiler>)]) -> String {
     let mut s = String::new();
     s.push_str("{\"traceEvents\":[\n");
-    let _ = write!(
-        s,
-        "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\
-         \"args\":{{\"name\":\"ftimm dspsim cluster\"}}}}"
-    );
-    for &tid in &tids {
-        let name = if tid == PLANNER_TID {
-            "planner".to_string()
-        } else {
-            let side = if tid % 2 == 0 { "compute" } else { "dma" };
-            format!("core{} {side}", tid / 2)
-        };
+    let mut first = true;
+    for (pid, (label, profilers)) in clusters.iter().enumerate() {
+        let mut tids: BTreeSet<usize> = BTreeSet::new();
+        for p in profilers {
+            for sp in p.spans() {
+                tids.insert(span_tid(sp.phase, sp.core));
+            }
+            for e in p.events() {
+                tids.insert(event_tid(e.kind, e.core));
+            }
+        }
         let _ = write!(
             s,
-            ",\n{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\
+            "{}{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
              \"args\":{{\"name\":{}}}}}",
-            quote(&name)
+            if first { "" } else { ",\n" },
+            quote(label)
         );
-    }
-    for sp in profiler.spans() {
-        let _ = write!(
-            s,
-            ",\n{{\"name\":{},\"cat\":\"phase\",\"ph\":\"X\",\"ts\":{:?},\"dur\":{:?},\
-             \"pid\":0,\"tid\":{}}}",
-            quote(sp.phase.name()),
-            sp.t0 * 1e6,
-            (sp.t1 - sp.t0) * 1e6,
-            span_tid(sp.phase, sp.core)
-        );
-    }
-    for e in profiler.events() {
-        let _ = write!(
-            s,
-            ",\n{{\"name\":{},\"cat\":\"fault\",\"ph\":\"i\",\"ts\":{:?},\"s\":\"p\",\
-             \"pid\":0,\"tid\":{}}}",
-            quote(e.kind.name()),
-            e.t * 1e6,
-            event_tid(e.kind, e.core)
-        );
+        first = false;
+        for &tid in &tids {
+            let name = if tid == PLANNER_TID {
+                "planner".to_string()
+            } else {
+                let side = if tid % 2 == 0 { "compute" } else { "dma" };
+                format!("core{} {side}", tid / 2)
+            };
+            let _ = write!(
+                s,
+                ",\n{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\
+                 \"args\":{{\"name\":{}}}}}",
+                quote(&name)
+            );
+        }
+        for p in profilers {
+            for sp in p.spans() {
+                let _ = write!(
+                    s,
+                    ",\n{{\"name\":{},\"cat\":\"phase\",\"ph\":\"X\",\"ts\":{:?},\"dur\":{:?},\
+                     \"pid\":{pid},\"tid\":{}}}",
+                    quote(sp.phase.name()),
+                    sp.t0 * 1e6,
+                    (sp.t1 - sp.t0) * 1e6,
+                    span_tid(sp.phase, sp.core)
+                );
+            }
+        }
+        for p in profilers {
+            for e in p.events() {
+                let _ = write!(
+                    s,
+                    ",\n{{\"name\":{},\"cat\":\"fault\",\"ph\":\"i\",\"ts\":{:?},\"s\":\"p\",\
+                     \"pid\":{pid},\"tid\":{}}}",
+                    quote(e.kind.name()),
+                    e.t * 1e6,
+                    event_tid(e.kind, e.core)
+                );
+            }
+        }
     }
     s.push_str("\n],\"displayTimeUnit\":\"ms\"}");
     s
@@ -303,5 +324,52 @@ mod tests {
         assert_eq!(name, "planner");
         let tid = events[2].get("tid").unwrap().as_u64("tid").unwrap();
         assert_eq!(tid as usize, PLANNER_TID);
+    }
+
+    #[test]
+    fn multi_cluster_trace_gets_one_pid_per_cluster() {
+        let mut p0 = Profiler::enabled(16);
+        p0.record(Span {
+            phase: Phase::Compute,
+            core: 0,
+            t0: 0.0,
+            t1: 1e-6,
+        });
+        let mut p1a = Profiler::enabled(16);
+        p1a.record(Span {
+            phase: Phase::Compute,
+            core: 1,
+            t0: 0.0,
+            t1: 2e-6,
+        });
+        let mut p1b = Profiler::enabled(16);
+        p1b.event(EventKind::ClusterFailed, None, 3e-6);
+        let text = chrome_trace_json_clusters(&[
+            ("cluster 0".to_string(), vec![&p0]),
+            ("cluster 1".to_string(), vec![&p1a, &p1b]),
+        ]);
+        let v = Parser::new(&text).parse().unwrap();
+        let events = v.get("traceEvents").unwrap().as_arr("traceEvents").unwrap();
+        let pids: Vec<u64> = events
+            .iter()
+            .map(|e| e.get("pid").unwrap().as_u64("pid").unwrap())
+            .collect();
+        // Cluster 0: process_name + thread_name + span.  Cluster 1:
+        // process_name + two thread_names + span + instant.
+        assert_eq!(pids, [0, 0, 0, 1, 1, 1, 1, 1]);
+        let labels: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("name").unwrap().as_str("name") == Ok("process_name"))
+            .map(|e| {
+                e.get("args")
+                    .unwrap()
+                    .get("name")
+                    .unwrap()
+                    .as_str("name")
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(labels, ["cluster 0", "cluster 1"]);
+        assert!(text.contains("cluster_failed"));
     }
 }

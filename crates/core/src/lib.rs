@@ -40,6 +40,7 @@
 pub mod adjust;
 pub mod api;
 pub mod batch;
+pub mod cluster;
 pub mod engine;
 pub mod error;
 pub mod exec;
@@ -61,11 +62,17 @@ pub use adjust::{
 };
 pub use api::{FtImm, Strategy};
 pub use batch::{BatchReport, GemmBatch};
-pub use engine::{BreakerState, EngineConfig, Job, JobId, JobOutcome, JobQueue, JobRecord};
+pub use cluster::{
+    ClusterHealth, ClusterPool, FailoverEvent, ShardedConfig, ShardedEngine, ShardedJob,
+    ShardedOutcome, ShardedRecord, ShardedReport, TenantId, TenantSpec,
+};
+pub use engine::{
+    BreakerState, CircuitBreaker, EngineConfig, Job, JobId, JobOutcome, JobQueue, JobRecord,
+};
 pub use error::FtimmError;
 pub use exec::{
-    chrome_trace_json, profile_from_json, profile_json, validate_batch_dims, validate_problem,
-    ExecOptions, ExecRun, Executor,
+    chrome_trace_json, chrome_trace_json_clusters, profile_from_json, profile_json,
+    validate_batch_dims, validate_problem, ExecOptions, ExecRun, Executor,
 };
 pub use grid::{ClusterGrid, GridReport};
 pub use invoke::invoke_kernel;
@@ -73,8 +80,8 @@ pub use kpar::{run_kpar, KparBlocks};
 pub use matrix::{DdrMatrix, GemmProblem};
 pub use mpar::{run_mpar, MparBlocks};
 pub use plan::{
-    analytic_seconds, choose_strategy, plan_from_json, plan_json, Plan, PlanCache, PlanCacheStats,
-    PlanKey, PlanOrigin, Planner, DEFAULT_PLAN_CACHE_CAPACITY,
+    analytic_seconds, choose_strategy, plan_from_json, plan_json, plan_sharded, Plan, PlanCache,
+    PlanCacheStats, PlanKey, PlanOrigin, Planner, Shard, ShardedPlan, DEFAULT_PLAN_CACHE_CAPACITY,
 };
 pub use resilience::{
     max_abs_error_vs_oracle, run_resilient, run_resilient_full, ResilienceConfig, ResilientRun,

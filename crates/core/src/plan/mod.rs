@@ -30,10 +30,12 @@
 pub mod cache;
 pub mod cost;
 pub mod planner;
+pub mod sharded;
 
 pub use cache::{PlanCache, PlanCacheStats, PlanKey, DEFAULT_PLAN_CACHE_CAPACITY};
 pub use cost::analytic_seconds;
 pub use planner::{choose_strategy, Planner};
+pub use sharded::{plan_sharded, Shard, ShardedPlan};
 
 use crate::{ChosenStrategy, GemmShape, KparBlocks, MparBlocks};
 use dspsim::minijson::{quote, Parser, Value};

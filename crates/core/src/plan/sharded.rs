@@ -1,0 +1,225 @@
+//! Multi-device plans: one GEMM split into M-stripe shards across a set
+//! of independent clusters.
+//!
+//! FT-m7032 carries four GPDSP clusters, each with a private DDR
+//! partition (§II of the paper), so the natural cross-device split is
+//! data-parallel over M: every cluster runs the *same* resolved
+//! [`ChosenStrategy`](crate::ChosenStrategy) on a contiguous stripe of C
+//! rows.
+//!
+//! **Bitwise identity and the checkpoint grid.**  A row's f32
+//! accumulation order is *not* independent of the rows around it: the
+//! micro-kernel's `k_u`-way accumulator split is chosen per
+//! `KernelSpec`, and a row's spec height depends on where the row falls
+//! in the strategy's local M-blocking.  Re-anchoring that blocking —
+//! which both sharding and checkpointed execution do (the resilience
+//! layer runs every `ckpt_rows` span as an independent sub-run of the
+//! pinned plan, see [`crate::resilience`]) — can therefore flip low
+//! bits.  The sharded engine always executes shards through that
+//! checkpointed path, so the invariant this module maintains is:
+//! *shard boundaries land on multiples of `grain_rows` (the engine's
+//! `ckpt_rows`)*.  The global span partition is then identical to a
+//! single-cluster checkpointed run of the same plan, every span is a
+//! deterministic sub-run, and the merged result — with or without
+//! failover, whose salvage points sit on the same grid — is bitwise
+//! identical to that single-cluster run.  `grain_rows == 0` disables
+//! checkpointing and hence the grid, so the plan degenerates to a
+//! single shard.
+//!
+//! Planning is two-staged and fully cached:
+//!
+//! 1. The full shape is planned once through [`crate::FtImm::plan_full`],
+//!    which memoises in the shared LRU [`super::PlanCache`]; the
+//!    resolved strategy is then *pinned* for every shard (replanning a
+//!    shard's smaller sub-shape could choose different blocks and break
+//!    bitwise identity between sharded and single-cluster runs).
+//! 2. The shard count is chosen by the same analytic cost model the
+//!    planner uses ([`super::analytic_seconds`]): a divisor search over
+//!    `1..=clusters` minimising per-shard time plus the serialised host
+//!    dispatch cost ([`crate::grid::LAUNCH_OVERHEAD_S`] per launch), the
+//!    work-group tradeoff from the DPU partitioner exemplar.  The search
+//!    is a pure O(clusters) function of the cached plan, so it needs no
+//!    memo of its own.
+
+use crate::grid::LAUNCH_OVERHEAD_S;
+use crate::plan::Plan;
+use crate::{FtImm, GemmShape, Strategy};
+
+/// One contiguous M-stripe of a sharded GEMM, assigned to a cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    /// Index of the cluster (in the caller's pool) that runs the stripe.
+    pub cluster: usize,
+    /// First C row of the stripe (inclusive).
+    pub r0: usize,
+    /// One past the last C row of the stripe.
+    pub r1: usize,
+}
+
+impl Shard {
+    /// Rows in the stripe.
+    pub fn rows(&self) -> usize {
+        self.r1 - self.r0
+    }
+}
+
+/// A multi-device plan: the pinned full-shape [`Plan`] plus the M-stripe
+/// shard assignment the cost model chose.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedPlan {
+    /// The full-shape plan every shard pins (LRU-cached via
+    /// [`crate::FtImm::plan_full`]).
+    pub plan: Plan,
+    /// Contiguous M-stripes, one per participating cluster, covering
+    /// `[0, m)` exactly.
+    pub shards: Vec<Shard>,
+    /// Cost-model estimate of the sharded run: slowest shard plus the
+    /// serialised launch overhead.
+    pub predicted_s: f64,
+}
+
+impl ShardedPlan {
+    /// Number of clusters the plan actually uses.
+    pub fn clusters_used(&self) -> usize {
+        self.shards.len()
+    }
+}
+
+/// Plan one GEMM across `placement` (an ordered list of usable cluster
+/// indices, best first).  The full shape is planned through the LRU plan
+/// cache; the shard count is the divisor minimising the analytic
+/// per-shard time plus `LAUNCH_OVERHEAD_S` per launch.  Every shard
+/// boundary is a multiple of `grain_rows` — the caller's checkpoint
+/// span (`ckpt_rows`) — so the sharded span partition matches a
+/// single-cluster checkpointed run bit-for-bit (see the module docs);
+/// `grain_rows == 0` means no checkpoint grid and forces a single
+/// shard.  Panics if `placement` is empty (the caller decides what an
+/// empty pool means).
+pub fn plan_sharded(
+    ft: &FtImm,
+    shape: &GemmShape,
+    strategy: Strategy,
+    cores: usize,
+    placement: &[usize],
+    grain_rows: usize,
+) -> ShardedPlan {
+    assert!(!placement.is_empty(), "plan_sharded needs ≥ 1 cluster");
+    let plan = ft.plan_full(shape, strategy, cores);
+    // No checkpoint grid (grain 0) ⇒ one grain spanning all of M.
+    let g = if grain_rows == 0 {
+        shape.m.max(1)
+    } else {
+        grain_rows
+    };
+    // Whole grains of rows; the last grain may be short.
+    let units = shape.m.div_ceil(g).max(1);
+    let max_d = placement.len().min(units);
+    let (mut best_d, mut best_t) = (1usize, f64::INFINITY);
+    for d in 1..=max_d {
+        let rows = (units.div_ceil(d) * g).min(shape.m);
+        let sub = GemmShape::new(rows, shape.n, shape.k);
+        let t = analytic_shard_seconds(ft, &sub, &plan, cores) + LAUNCH_OVERHEAD_S * d as f64;
+        if t < best_t {
+            (best_d, best_t) = (d, t);
+        }
+    }
+    let (base, rem) = (units / best_d, units % best_d);
+    let mut shards = Vec::with_capacity(best_d);
+    let mut r0 = 0;
+    for (i, &cluster) in placement.iter().take(best_d).enumerate() {
+        let u = base + usize::from(i < rem);
+        let r1 = (r0 + u * g).min(shape.m);
+        shards.push(Shard { cluster, r0, r1 });
+        r0 = r1;
+    }
+    debug_assert_eq!(r0, shape.m);
+    ShardedPlan {
+        plan,
+        shards,
+        predicted_s: best_t,
+    }
+}
+
+fn analytic_shard_seconds(ft: &FtImm, sub: &GemmShape, plan: &Plan, cores: usize) -> f64 {
+    super::analytic_seconds(ft.cache(), ft.cfg(), sub, &plan.strategy, cores)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dspsim::HwConfig;
+
+    #[test]
+    fn shards_tile_m_exactly_and_contiguously() {
+        let ft = FtImm::new(HwConfig::default());
+        let shape = GemmShape::new(4099, 32, 64);
+        let sp = plan_sharded(&ft, &shape, Strategy::Auto, 8, &[2, 0, 3, 1], 8);
+        assert_eq!(sp.shards[0].r0, 0);
+        assert_eq!(sp.shards.last().unwrap().r1, shape.m);
+        for w in sp.shards.windows(2) {
+            assert_eq!(w[0].r1, w[1].r0);
+        }
+        // Shards land on the placement order, best cluster first.
+        assert_eq!(sp.shards[0].cluster, 2);
+        assert!(sp.predicted_s.is_finite());
+    }
+
+    #[test]
+    fn big_type1_shapes_split_but_tiny_ones_do_not() {
+        let ft = FtImm::new(HwConfig::default());
+        let big = GemmShape::new(1 << 18, 32, 32);
+        let sp = plan_sharded(&ft, &big, Strategy::Auto, 8, &[0, 1, 2, 3], 8);
+        assert!(sp.clusters_used() > 1, "{:?}", sp.shards);
+        // A tiny problem is not worth a second 50 µs launch.
+        let tiny = GemmShape::new(16, 16, 16);
+        let sp = plan_sharded(&ft, &tiny, Strategy::Auto, 8, &[0, 1, 2, 3], 8);
+        assert_eq!(sp.clusters_used(), 1);
+    }
+
+    #[test]
+    fn boundaries_sit_on_the_checkpoint_grid() {
+        let ft = FtImm::new(HwConfig::default());
+        // 4099 = 8 * 512 + 3: interior boundaries must be multiples of
+        // the grain, only the final r1 may be off-grid.
+        for grain in [1usize, 4, 8, 16, 33] {
+            let shape = GemmShape::new(4099, 32, 64);
+            let sp = plan_sharded(&ft, &shape, Strategy::Auto, 8, &[0, 1, 2, 3], grain);
+            for s in &sp.shards[..sp.shards.len() - 1] {
+                assert_eq!(s.r1 % grain, 0, "grain {grain}: boundary {}", s.r1);
+                assert!(s.rows() > 0);
+            }
+            assert_eq!(sp.shards.last().unwrap().r1, shape.m);
+        }
+        // Grain 0 (checkpointing off) has no grid to align to, so the
+        // plan must not split at all.
+        let sp = plan_sharded(
+            &ft,
+            &GemmShape::new(1 << 18, 32, 32),
+            Strategy::Auto,
+            8,
+            &[0, 1, 2, 3],
+            0,
+        );
+        assert_eq!(sp.clusters_used(), 1);
+    }
+
+    #[test]
+    fn shard_count_never_exceeds_rows() {
+        let ft = FtImm::new(HwConfig::default());
+        let shape = GemmShape::new(2, 8, 8);
+        let sp = plan_sharded(&ft, &shape, Strategy::Auto, 8, &[0, 1, 2, 3], 8);
+        assert!(sp.clusters_used() <= 2);
+        assert_eq!(sp.shards.iter().map(Shard::rows).sum::<usize>(), 2);
+    }
+
+    #[test]
+    fn full_shape_plan_is_lru_cached() {
+        let ft = FtImm::new(HwConfig::default());
+        let shape = GemmShape::new(4096, 32, 64);
+        let _ = plan_sharded(&ft, &shape, Strategy::Auto, 8, &[0, 1], 8);
+        let misses = ft.plan_cache_stats().misses;
+        let _ = plan_sharded(&ft, &shape, Strategy::Auto, 8, &[1, 0], 8);
+        assert_eq!(ft.plan_cache_stats().misses, misses);
+        assert!(ft.plan_cache_stats().hits >= 1);
+    }
+}

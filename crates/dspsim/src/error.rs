@@ -80,6 +80,13 @@ pub enum SimError {
         /// Simulated time of the failure.
         at: f64,
     },
+    /// The whole cluster failed permanently (injected via
+    /// [`crate::FaultPlan::kill_cluster`]): every core is gone, only
+    /// host-side DDR reads survive.
+    ClusterFailed {
+        /// Simulated time of the failure.
+        at: f64,
+    },
     /// The armed watchdog fired: a DMA transfer hung past its budget or a
     /// core reached the deadline without retiring its work.
     WatchdogTripped {
@@ -137,6 +144,9 @@ impl fmt::Display for SimError {
             ),
             SimError::CoreFailed { core, at } => {
                 write!(f, "core {core} failed permanently at {at:.6e}s")
+            }
+            SimError::ClusterFailed { at } => {
+                write!(f, "cluster failed permanently at {at:.6e}s")
             }
             SimError::WatchdogTripped { unit, at } => match unit {
                 WatchdogUnit::Dma { core, path } => write!(

@@ -76,6 +76,19 @@ pub struct CoreFailure {
     pub at_seconds: f64,
 }
 
+/// A whole-cluster failure at a simulated time: the machine's fault
+/// domain dies as one unit (power rail, interconnect, firmware wedge),
+/// taking every core with it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterFailure {
+    /// Simulated time (seconds) at which the cluster stops responding.
+    /// The first operation issued at or after this time errors with
+    /// [`crate::SimError::ClusterFailed`]; memory contents written before
+    /// the failure stay readable from the host (the DDR partition
+    /// survives the cluster, as on the real part).
+    pub at_seconds: f64,
+}
+
 /// A complete, serialisable fault-injection schedule.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FaultPlan {
@@ -87,6 +100,8 @@ pub struct FaultPlan {
     pub mem: Vec<MemFault>,
     /// Permanent core failures.
     pub cores: Vec<CoreFailure>,
+    /// Whole-cluster failures.
+    pub clusters: Vec<ClusterFailure>,
     /// Simulated watchdog timeout charged to a core whose transfer hangs.
     pub timeout_s: f64,
 }
@@ -105,18 +120,22 @@ impl FaultPlan {
             dma: Vec::new(),
             mem: Vec::new(),
             cores: Vec::new(),
+            clusters: Vec::new(),
             timeout_s: 1e-3,
         }
     }
 
     /// Whether the plan schedules no faults at all.
     pub fn is_empty(&self) -> bool {
-        self.dma.is_empty() && self.mem.is_empty() && self.cores.is_empty()
+        self.dma.is_empty()
+            && self.mem.is_empty()
+            && self.cores.is_empty()
+            && self.clusters.is_empty()
     }
 
     /// Total number of scheduled faults.
     pub fn len(&self) -> usize {
-        self.dma.len() + self.mem.len() + self.cores.len()
+        self.dma.len() + self.mem.len() + self.cores.len() + self.clusters.len()
     }
 
     /// Schedule silent corruption of the Nth transfer over `path`.
@@ -153,6 +172,14 @@ impl FaultPlan {
         });
         self
     }
+
+    /// Schedule a permanent failure of the whole cluster at simulated
+    /// time `at_s` (the machine becomes a dead fault domain: every
+    /// subsequent operation errors, but host-side DDR reads survive).
+    pub fn kill_cluster(mut self, at_s: f64) -> Self {
+        self.clusters.push(ClusterFailure { at_seconds: at_s });
+        self
+    }
 }
 
 /// SplitMix64: the deterministic stream behind every "random" fault
@@ -186,6 +213,10 @@ pub(crate) struct FaultState {
     pub core_death: Vec<Option<f64>>,
     /// Whether a physical core has failed.
     pub failed: Vec<bool>,
+    /// Scheduled whole-cluster death time (earliest wins if several).
+    pub cluster_death: Option<f64>,
+    /// Whether the whole cluster has failed.
+    pub cluster_failed: bool,
     /// Watchdog timeout charged on a hung transfer.
     pub timeout_s: f64,
     /// Corruptions injected so far.
@@ -238,12 +269,22 @@ mod tests {
             .corrupt_dma(DmaPath::DdrToAm, 3)
             .timeout_dma(DmaPath::GsmToAm, 1)
             .flip_bit(MemTarget::Am(2), 10)
-            .kill_core(5, 1e-3);
-        assert_eq!(plan.len(), 4);
+            .kill_core(5, 1e-3)
+            .kill_cluster(2e-3);
+        assert_eq!(plan.len(), 5);
         assert!(!plan.is_empty());
         assert_eq!(plan.seed, 7);
         assert_eq!(plan.dma[0].kind, DmaFaultKind::Corrupt);
         assert_eq!(plan.dma[1].kind, DmaFaultKind::Timeout);
+        assert_eq!(plan.clusters[0].at_seconds, 2e-3);
+    }
+
+    #[test]
+    fn cluster_kill_alone_makes_plan_non_empty() {
+        let plan = FaultPlan::new(3).kill_cluster(5e-4);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.len(), 1);
+        assert!(plan.dma.is_empty() && plan.mem.is_empty() && plan.cores.is_empty());
     }
 
     #[test]

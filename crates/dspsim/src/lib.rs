@@ -37,7 +37,9 @@ pub use config::HwConfig;
 pub use dma::{transfer_time, Dma2d, DmaPath, DmaTicket, WatchdogConfig};
 pub use error::{SimError, WatchdogUnit};
 pub use exec::{run_program, ExecReport, KernelBindings};
-pub use fault::{CoreFailure, DmaFault, DmaFaultKind, FaultPlan, MemFault, MemTarget};
+pub use fault::{
+    ClusterFailure, CoreFailure, DmaFault, DmaFaultKind, FaultPlan, MemFault, MemTarget,
+};
 pub use machine::{Cluster, ExecMode, Machine, DDR_CAPACITY};
 pub use mem::MemRegion;
 pub use profiler::{

@@ -227,6 +227,12 @@ impl Machine {
         for f in &plan.cores {
             self.fault.core_death[f.core] = Some(f.at_seconds);
         }
+        for f in &plan.clusters {
+            self.fault.cluster_death = Some(match self.fault.cluster_death {
+                Some(t) => t.min(f.at_seconds),
+                None => f.at_seconds,
+            });
+        }
     }
 
     /// Retire a failed physical core: remaining logical ids stay dense
@@ -312,10 +318,40 @@ impl Machine {
         Ok(())
     }
 
+    /// Whether the whole cluster has failed permanently (scheduled death
+    /// reached during a run).
+    pub fn is_cluster_failed(&self) -> bool {
+        self.fault.cluster_failed
+    }
+
+    /// Check whether the cluster as a whole is (still) allowed to issue
+    /// work: once any mapped core's clock reaches the scheduled cluster
+    /// death time, the entire fault domain is dead and every subsequent
+    /// operation errors with [`SimError::ClusterFailed`].  Host-side DDR
+    /// reads are unaffected (the partition outlives the cluster).
+    pub fn check_cluster_alive(&mut self, id: usize) -> Result<(), SimError> {
+        let Some(t) = self.fault.cluster_death else {
+            return Ok(());
+        };
+        if self.fault.cluster_failed {
+            return Err(SimError::ClusterFailed { at: t });
+        }
+        let phys = self.core_map[id];
+        let core = &self.cluster.cores[phys];
+        let now = core.t_compute.max(core.t_dma_free);
+        if now >= t {
+            self.fault.cluster_failed = true;
+            self.profiler.event(EventKind::ClusterFailed, None, t);
+            return Err(SimError::ClusterFailed { at: t });
+        }
+        Ok(())
+    }
+
     /// Check whether a logical core is (still) allowed to issue work: a
     /// core whose clock has reached its scheduled death time fails
     /// permanently.
     pub fn check_core_alive(&mut self, id: usize) -> Result<(), SimError> {
+        self.check_cluster_alive(id)?;
         if self.fault.core_death.is_empty() {
             return Ok(());
         }

@@ -14,7 +14,7 @@
 //! assert_eq!(FaultPlan::from_json(&text).unwrap(), plan);
 //! ```
 
-use crate::fault::{CoreFailure, DmaFault, MemFault};
+use crate::fault::{ClusterFailure, CoreFailure, DmaFault, MemFault};
 use crate::minijson::{Parser, Value};
 use crate::{DmaFaultKind, DmaPath, FaultPlan, MemTarget};
 use std::fmt::Write as _;
@@ -108,6 +108,20 @@ impl FaultPlan {
             );
         }
         s.push_str(if self.cores.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+        s.push_str("  \"clusters\": [");
+        for (i, f) in self.clusters.iter().enumerate() {
+            let _ = write!(
+                s,
+                "{}\n    {{ \"at_seconds\": {:?} }}",
+                if i == 0 { "" } else { "," },
+                f.at_seconds
+            );
+        }
+        s.push_str(if self.clusters.is_empty() {
             "]\n"
         } else {
             "\n  ]\n"
@@ -140,6 +154,11 @@ impl FaultPlan {
                 "cores" => {
                     for item in v.as_arr("cores")? {
                         plan.cores.push(parse_core_failure(item)?);
+                    }
+                }
+                "clusters" => {
+                    for item in v.as_arr("clusters")? {
+                        plan.clusters.push(parse_cluster_failure(item)?);
                     }
                 }
                 other => return Err(format!("unknown plan key {other:?}")),
@@ -222,6 +241,20 @@ fn parse_core_failure(v: &Value) -> Result<CoreFailure, String> {
     })
 }
 
+fn parse_cluster_failure(v: &Value) -> Result<ClusterFailure, String> {
+    let obj = v.as_obj("cluster failure")?;
+    let mut at = None;
+    for (key, v) in obj {
+        match key.as_str() {
+            "at_seconds" => at = Some(v.as_f64("at_seconds")?),
+            other => return Err(format!("unknown cluster failure key {other:?}")),
+        }
+    }
+    Ok(ClusterFailure {
+        at_seconds: at.ok_or("cluster failure missing \"at_seconds\"")?,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -233,7 +266,8 @@ mod tests {
             .flip_bit(MemTarget::Gsm, 3)
             .flip_bit(MemTarget::Sm(1), 4)
             .flip_bit(MemTarget::Am(6), 9)
-            .kill_core(5, 1.25e-3);
+            .kill_core(5, 1.25e-3)
+            .kill_cluster(3.5e-3);
         p.timeout_s = 2.5e-4;
         p
     }
@@ -268,6 +302,20 @@ mod tests {
         assert_eq!(plan.timeout_s, FaultPlan::new(0).timeout_s);
         assert_eq!(plan.dma.len(), 1);
         assert_eq!(plan.mem[0].target, MemTarget::Sm(0));
+        assert!(plan.clusters.is_empty());
+    }
+
+    #[test]
+    fn cluster_kill_round_trips() {
+        let plan = FaultPlan::new(9).kill_cluster(1.5e-3).kill_cluster(7e-4);
+        let back = FaultPlan::from_json(&plan.to_json()).unwrap();
+        assert_eq!(back, plan);
+        assert_eq!(back.clusters.len(), 2);
+        assert_eq!(back.clusters[1].at_seconds, 7e-4);
+
+        let hand = r#"{ "seed": 4, "clusters": [ { "at_seconds": 2e-3 } ] }"#;
+        let plan = FaultPlan::from_json(hand).unwrap();
+        assert_eq!(plan.clusters[0].at_seconds, 2e-3);
     }
 
     #[test]
@@ -288,6 +336,11 @@ mod tests {
                 "{ \"mem\": [ { \"target\": { \"kind\": \"Sm\" }, \"nth_read\": 1 } ] }",
                 "missing \"core\"",
             ),
+            (
+                "{ \"clusters\": [ { \"at\": 1e-3 } ] }",
+                "unknown cluster failure key",
+            ),
+            ("{ \"clusters\": [ { } ] }", "missing \"at_seconds\""),
         ] {
             let err = FaultPlan::from_json(text).unwrap_err();
             assert!(err.contains(needle), "{text}: got {err:?}");

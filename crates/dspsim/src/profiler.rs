@@ -159,6 +159,8 @@ pub enum EventKind {
     CoreRetired,
     /// A resilience layer charged a recovery retry.
     Retry,
+    /// The whole cluster failed permanently.
+    ClusterFailed,
 }
 
 impl EventKind {
@@ -172,6 +174,7 @@ impl EventKind {
             EventKind::CoreFailed => "core_failed",
             EventKind::CoreRetired => "core_retired",
             EventKind::Retry => "retry",
+            EventKind::ClusterFailed => "cluster_failed",
         }
     }
 }
