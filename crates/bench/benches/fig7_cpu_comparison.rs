@@ -21,12 +21,13 @@ fn bench(c: &mut Criterion) {
         b.iter(|| cpublas::sgemm(m, n, k, &a, &bm, &mut cm, 8))
     });
     g.bench_function("efficiency_point", |b| {
+        use ftimm::backend::Backend;
         use ftimm::{GemmShape, Strategy};
         let h = bench::Harness::new();
         let shape = GemmShape::new(20480, 32, 20480);
         b.iter(|| {
-            let dsp = h.gflops(&shape, Strategy::Auto, 8) / h.dsp_peak_gflops();
-            let cpu = cpublas::predict(&h.cpu, shape.m, shape.n, shape.k).efficiency;
+            let dsp = h.dsp_backend(Strategy::Auto, 8).predict(&shape).efficiency;
+            let cpu = h.cpu_predict(&shape).efficiency;
             dsp / cpu
         })
     });

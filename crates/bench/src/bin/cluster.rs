@@ -8,13 +8,20 @@
 //! * `--out FILE` — write the `BENCH_cluster.json` document
 //! * `--trace FILE` — write the per-cluster Chrome trace of the killed
 //!   failover probe (CI artifact; load in Perfetto)
+//! * `--spill POLICY` — `never` (default), `last-resort` or
+//!   `deadline-aware`; with spilling enabled the `--trace` artifact
+//!   switches to the dual-backend probe (the lone cluster dies and the
+//!   CPU lane carries the remainder, both devices as trace processes)
 //! * `--assert-failover-overhead X` — exit nonzero unless the recovery
 //!   overhead stays within `X` times the lost shard's fault-free work
 //!   (CI gate; the design target is 2)
 
+use ftimm::SpillPolicy;
+
 fn main() {
     let mut out: Option<String> = None;
     let mut trace: Option<String> = None;
+    let mut spill = SpillPolicy::Never;
     let mut assert_overhead: Option<f64> = None;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut it = argv.iter();
@@ -33,6 +40,12 @@ fn main() {
                         .cloned()
                         .unwrap_or_else(|| die("--trace needs a path")),
                 )
+            }
+            "--spill" => {
+                spill = it
+                    .next()
+                    .and_then(|v| bench::cluster::parse_spill(v))
+                    .unwrap_or_else(|| die("--spill takes never | last-resort | deadline-aware"))
             }
             "--assert-failover-overhead" => {
                 assert_overhead = Some(
@@ -55,9 +68,13 @@ fn main() {
     }
 
     if let Some(path) = &trace {
-        std::fs::write(path, bench::cluster::failover_trace())
-            .unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
-        println!("per-cluster trace written to {path}");
+        let (json, what) = if spill == SpillPolicy::Never {
+            (bench::cluster::failover_trace(), "per-cluster")
+        } else {
+            (bench::cluster::spill_trace(spill), "dual-backend")
+        };
+        std::fs::write(path, json).unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
+        println!("{what} trace written to {path}");
     }
 
     if let Some(max) = assert_overhead {
@@ -75,6 +92,9 @@ fn main() {
 
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("usage: cluster [--out FILE] [--trace FILE] [--assert-failover-overhead X]");
+    eprintln!(
+        "usage: cluster [--out FILE] [--trace FILE] [--spill POLICY] \
+         [--assert-failover-overhead X]"
+    );
     std::process::exit(2);
 }

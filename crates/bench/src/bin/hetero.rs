@@ -1,0 +1,71 @@
+//! Heterogeneous failover report: CPU-spill cost on the Table I–III
+//! regimes and the model cross-check gate.
+//!
+//! Usage:
+//! `cargo run --release -p bench --bin hetero -- [options]`
+//!
+//! Options:
+//! * `--out FILE` — write the `BENCH_hetero.json` document
+//! * `--assert-cpu-model X` — exit nonzero unless the measured CPU-lane
+//!   time stays within `X` (fraction) of the independent `cpublas`
+//!   model prediction on every regime (CI gate; the design target is
+//!   0.3, i.e. ±30%)
+
+fn main() {
+    let mut out: Option<String> = None;
+    let mut assert_model: Option<f64> = None;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => {
+                out = Some(
+                    it.next()
+                        .cloned()
+                        .unwrap_or_else(|| die("--out needs a path")),
+                )
+            }
+            "--assert-cpu-model" => {
+                assert_model = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| die("--assert-cpu-model needs a number")),
+                )
+            }
+            other => die(&format!("unrecognised argument `{other}`")),
+        }
+    }
+
+    let report = bench::hetero::compute();
+    print!("{}", bench::hetero::render(&report));
+
+    if let Some(path) = &out {
+        std::fs::write(path, bench::hetero::render_json(&report))
+            .unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
+        println!("report written to {path}");
+    }
+
+    if let Some(max) = assert_model {
+        let got = report.max_model_error();
+        if got > max {
+            eprintln!(
+                "cpu-model check FAILED: lane time drifts {:.1}% from the cpublas \
+                 prediction > allowed {:.1}%",
+                100.0 * got,
+                100.0 * max
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "cpu-model check OK: {:.1}% <= {:.1}%",
+            100.0 * got,
+            100.0 * max
+        );
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: hetero [--out FILE] [--assert-cpu-model X]");
+    std::process::exit(2);
+}

@@ -13,7 +13,8 @@ use dspsim::{ExecMode, FaultPlan, HwConfig, Profiler};
 use ftimm::reference::fill_matrix;
 use ftimm::{
     chrome_trace_json_clusters, ClusterPool, EngineConfig, FtImm, GemmShape, ResilienceConfig,
-    ShardedConfig, ShardedEngine, ShardedJob, ShardedOutcome, ShardedReport, Strategy, TenantSpec,
+    ShardedConfig, ShardedEngine, ShardedJob, ShardedOutcome, ShardedReport, SpillPolicy, Strategy,
+    TenantSpec,
 };
 use std::fmt::Write as _;
 
@@ -90,6 +91,16 @@ impl Report {
             .filter(|r| r.clusters == MAX_CLUSTERS)
             .map(|r| r.efficiency)
             .fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// Parse a `--spill` flag value (`never`, `last-resort`, `deadline-aware`).
+pub fn parse_spill(s: &str) -> Option<SpillPolicy> {
+    match s {
+        "never" => Some(SpillPolicy::Never),
+        "last-resort" => Some(SpillPolicy::LastResort),
+        "deadline-aware" => Some(SpillPolicy::DeadlineAware),
+        _ => None,
     }
 }
 
@@ -209,6 +220,41 @@ pub fn failover_trace() -> String {
         .enumerate()
         .map(|(i, v)| (format!("cluster {i}"), v.iter().collect()))
         .collect();
+    chrome_trace_json_clusters(&labelled)
+}
+
+/// The dual-backend Chrome trace (the `--spill` CI artifact): the lone
+/// cluster is killed mid-shard under the given spill policy, the
+/// checkpointed remainder resumes on the CPU lane, and the trace shows
+/// both devices as separate processes — the DSP timeline ending at the
+/// death, the CPU timeline carrying the spilled spans.
+pub fn spill_trace(spill: SpillPolicy) -> String {
+    let ft = FtImm::new(HwConfig::default());
+    let pool = ClusterPool::new(&HwConfig::default(), ExecMode::Fast, 1);
+    let mut eng = ShardedEngine::new(pool, sharded_cfg(false));
+    let clean = run_completed(&ft, &mut eng, probe_job(), "fault-free spill probe");
+    let shard_fault_free_s = clean.shard_runs[0].seconds;
+
+    let pool = ClusterPool::new(&HwConfig::default(), ExecMode::Fast, 1);
+    let cfg = ShardedConfig {
+        spill,
+        ..sharded_cfg(true)
+    };
+    let mut eng = ShardedEngine::new(pool, cfg);
+    eng.install_faults(0, &FaultPlan::new(5).kill_cluster(shard_fault_free_s * 0.5));
+    let killed = run_completed(&ft, &mut eng, probe_job(), "killed spill probe");
+    assert!(
+        !killed.failovers.is_empty(),
+        "the spill probe kill must actually trigger a failover"
+    );
+    let profilers = eng.take_profilers();
+    let cpu = eng.take_cpu_profiler();
+    let mut labelled: Vec<(String, Vec<&Profiler>)> = profilers
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (format!("cluster {i}"), v.iter().collect()))
+        .collect();
+    labelled.push(("cpu".to_string(), vec![&cpu]));
     chrome_trace_json_clusters(&labelled)
 }
 
@@ -356,5 +402,21 @@ mod tests {
         assert!(trace.contains("\"name\":\"cluster 0\""));
         assert!(trace.contains("\"name\":\"cluster 1\""));
         assert!(trace.contains("cluster_failed"));
+    }
+
+    #[test]
+    fn spill_trace_shows_both_backends() {
+        let trace = spill_trace(ftimm::SpillPolicy::LastResort);
+        assert!(trace.contains("\"name\":\"cluster 0\""));
+        assert!(trace.contains("\"name\":\"cpu\""));
+    }
+
+    #[test]
+    fn spill_flag_values_parse() {
+        use ftimm::SpillPolicy::*;
+        assert_eq!(parse_spill("never"), Some(Never));
+        assert_eq!(parse_spill("last-resort"), Some(LastResort));
+        assert_eq!(parse_spill("deadline-aware"), Some(DeadlineAware));
+        assert_eq!(parse_spill("sometimes"), None);
     }
 }

@@ -2,6 +2,7 @@
 
 use cpublas::CpuConfig;
 use dspsim::HwConfig;
+use ftimm::backend::{Backend, BackendPrediction, CpuBackend, DspBackend};
 use ftimm::{ChosenStrategy, FtImm, GemmShape, Strategy};
 
 /// A configured measurement context (kernel cache shared across points).
@@ -58,6 +59,24 @@ impl Harness {
     /// Cluster peak in GFLOPS.
     pub fn dsp_peak_gflops(&self) -> f64 {
         self.ft.cfg().cluster_peak_flops() / 1e9
+    }
+
+    /// The DSP cluster as a [`Backend`] (predictions through the shared
+    /// plan cache).
+    pub fn dsp_backend(&self, strategy: Strategy, cores: usize) -> DspBackend<'_> {
+        DspBackend::new(&self.ft, strategy, cores)
+    }
+
+    /// The CPU comparator as a [`Backend`] — the same model and config
+    /// the sharded engine's spill lane charges, so every chart and gate
+    /// compares against the device that would actually absorb failover.
+    pub fn cpu_backend(&self) -> CpuBackend {
+        CpuBackend::new(self.cpu)
+    }
+
+    /// CPU-model prediction for a shape through the [`Backend`] trait.
+    pub fn cpu_predict(&self, shape: &GemmShape) -> BackendPrediction {
+        self.cpu_backend().predict(shape)
     }
 }
 

@@ -35,9 +35,11 @@ pub struct Panel {
 }
 
 fn point(h: &Harness, m: usize, n: usize, k: usize) -> Point {
+    // Both devices through the same Backend trait the failover engine
+    // dispatches on: one code path, one config.
     let shape = GemmShape::new(m, n, k);
     let dsp_gf = h.gflops(&shape, Strategy::Auto, 8);
-    let cpu = cpublas::predict(&h.cpu, m, n, k);
+    let cpu = h.cpu_predict(&shape);
     Point {
         shape,
         dsp_efficiency: dsp_gf / h.dsp_peak_gflops(),

@@ -17,6 +17,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;
+pub mod hetero;
 pub mod planner;
 pub mod tables;
 pub mod workload_eval;

@@ -31,7 +31,7 @@ pub fn compute() -> Vec<Row> {
             shape,
             ftimm: h.gflops(&shape, Strategy::Auto, 8),
             tgemm: h.tgemm_gflops(&shape, 8),
-            cpu: cpublas::predict(&h.cpu, shape.m, shape.n, shape.k).flops_per_s / 1e9,
+            cpu: h.cpu_predict(&shape).flops_per_s / 1e9,
         });
     };
     // K-means: MNIST-like and tabular-like instances.

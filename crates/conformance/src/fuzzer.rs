@@ -35,6 +35,13 @@
 //!   same pinned plan and ckpt grid (checkpoint spans re-anchor the
 //!   kernel blocking, so that — not a plain run — is the bit-exact
 //!   oracle), and every submitted job reaches a terminal outcome.
+//! * [`OracleKind::CpuFailover`] — the heterogeneous ladder: a
+//!   single-cluster sharded run with [`ftimm::SpillPolicy::LastResort`]
+//!   and a seeded mid-shard cluster kill must salvage the checkpointed
+//!   prefix, resume the remainder on the host CPU lane
+//!   ([`ftimm::CpuBackend`] mirrors the exact DSP blocking walk) and
+//!   stay bitwise identical to the same checkpointed oracle — across
+//!   devices, not just clusters.
 //!
 //! Every case additionally runs the [`crate::verifier`] lint pass over
 //! each micro-kernel its plan pulls from the cache.
@@ -46,8 +53,8 @@ use dspsim::{DmaPath, ExecMode, FaultPlan, HwConfig, Machine, RunReport};
 use ftimm::reference::{fill_matrix, sgemm_f64};
 use ftimm::{
     ChosenStrategy, ClusterPool, EngineConfig, FtImm, FtimmError, GemmProblem, GemmShape,
-    ResilienceConfig, ShardedConfig, ShardedEngine, ShardedJob, ShardedOutcome, Strategy,
-    TenantSpec,
+    ResilienceConfig, ShardedConfig, ShardedEngine, ShardedJob, ShardedOutcome, SpillPolicy,
+    Strategy, TenantSpec,
 };
 use kernelgen::KernelSpec;
 use std::fmt;
@@ -73,11 +80,14 @@ pub enum OracleKind {
     PlanConsistency,
     /// Sharded run with seeded cluster death ≡ single-cluster, bitwise.
     ShardFailover,
+    /// Cross-backend spill (DSP dies, CPU lane resumes) ≡ single-cluster,
+    /// bitwise.
+    CpuFailover,
 }
 
 impl OracleKind {
     /// All oracles, in round-robin scheduling order.
-    pub const ALL: [OracleKind; 9] = [
+    pub const ALL: [OracleKind; 10] = [
         OracleKind::Reference,
         OracleKind::ModeEquivalence,
         OracleKind::EntryEquivalence,
@@ -87,6 +97,7 @@ impl OracleKind {
         OracleKind::FaultRecovery,
         OracleKind::PlanConsistency,
         OracleKind::ShardFailover,
+        OracleKind::CpuFailover,
     ];
 
     /// Stable tag used in fixtures.
@@ -101,6 +112,7 @@ impl OracleKind {
             OracleKind::FaultRecovery => "fault-recovery",
             OracleKind::PlanConsistency => "plan-consistency",
             OracleKind::ShardFailover => "shard-failover",
+            OracleKind::CpuFailover => "cpu-failover",
         }
     }
 
@@ -149,8 +161,8 @@ pub struct CaseSpec {
     pub oracle: OracleKind,
     /// When set, the seed of the injected [`FaultPlan`] (see
     /// [`fault_plan_for`]); [`OracleKind::FaultRecovery`] draws DMA
-    /// corruptions from it, [`OracleKind::ShardFailover`] the cluster
-    /// kill time.
+    /// corruptions from it, [`OracleKind::ShardFailover`] and
+    /// [`OracleKind::CpuFailover`] the cluster kill time.
     pub fault_seed: Option<u64>,
 }
 
@@ -248,12 +260,13 @@ pub fn fault_plan_for(fault_seed: u64) -> FaultPlan {
 pub fn generate_case(run_seed: u64, case_index: u64) -> CaseSpec {
     let mut rng = Rng64::for_case(run_seed, case_index);
     let regime = Regime::ALL[(case_index % 4) as usize];
-    // The oracle index drifts by one every full regime rotation so no
-    // oracle gets pinned to a small set of regimes (with the oracle
-    // count coprime to 4 a plain modulus would also rotate, but the
-    // drift keeps the schedule independent of that accident).
-    let oracle =
-        OracleKind::ALL[((case_index + case_index / 4) % OracleKind::ALL.len() as u64) as usize];
+    // The oracle index drifts by three every full regime rotation so no
+    // oracle gets pinned to a small set of regimes.  The effective step
+    // per rotation is 4 + 3 = 7, coprime to the oracle count (10), so
+    // every (regime, oracle) pair is visited — a drift of one would make
+    // the step 5 and silently skip oracles 4 and 9 forever.
+    let oracle = OracleKind::ALL
+        [((case_index + 3 * (case_index / 4)) % OracleKind::ALL.len() as u64) as usize];
     let shape = if oracle == OracleKind::ModeEquivalence {
         sample_for_interpret(regime, &mut rng)
     } else {
@@ -268,7 +281,7 @@ pub fn generate_case(run_seed: u64, case_index: u64) -> CaseSpec {
     ]);
     let fault_seed = matches!(
         oracle,
-        OracleKind::FaultRecovery | OracleKind::ShardFailover
+        OracleKind::FaultRecovery | OracleKind::ShardFailover | OracleKind::CpuFailover
     )
     .then(|| rng.range(1, u32::MAX as u64));
     CaseSpec {
@@ -827,6 +840,123 @@ pub fn check_case(ft: &FtImm, case: &CaseSpec) -> Result<(), Mismatch> {
                 )),
             }
         }
+        OracleKind::CpuFailover => {
+            let (m, n, k) = (case.shape.m, case.shape.n, case.shape.k);
+
+            // Same checkpointed single-cluster bitwise oracle as
+            // ShardFailover: the CPU lane replays the identical pinned
+            // plan and ckpt grid, so device identity is exactly cluster
+            // identity.
+            let rcfg = ResilienceConfig {
+                ckpt_rows: 4,
+                ..ResilienceConfig::default()
+            };
+            let mut machine = Machine::with_mode(ExecMode::Fast);
+            let staged = stage(&mut machine, &case.shape, case.seed, false)
+                .map_err(|e| mismatch(case, format!("staging failed: {e}")))?;
+            let pinned = ft.plan_full(&case.shape, case.strategy, case.cores);
+            ft.run_plan_resilient(
+                &mut machine,
+                &staged.problem,
+                &pinned.strategy,
+                case.cores,
+                &rcfg,
+            )
+            .map_err(|e| mismatch(case, format!("oracle run failed: {e}")))?;
+            let want = staged
+                .problem
+                .c
+                .download(&mut machine)
+                .map_err(|e| mismatch(case, format!("oracle download failed: {e}")))?;
+
+            let cfg = ShardedConfig {
+                engine: EngineConfig {
+                    resilience: rcfg,
+                    ..EngineConfig::default()
+                },
+                spill: SpillPolicy::LastResort,
+                ..ShardedConfig::default()
+            };
+            let job = || {
+                ShardedJob::gemm(
+                    m,
+                    n,
+                    k,
+                    staged.a.clone(),
+                    staged.b.clone(),
+                    staged.c0.clone(),
+                    case.strategy,
+                    case.cores,
+                )
+            };
+            let run_sharded = |eng: &mut ShardedEngine| -> Result<ShardedOutcome, Mismatch> {
+                let t = eng.register_tenant(TenantSpec::new("fuzz", 1));
+                eng.submit(t, job());
+                let mut records = eng.run_all(ft);
+                if records.len() != 1 {
+                    return Err(mismatch(
+                        case,
+                        format!("expected 1 terminal record, got {}", records.len()),
+                    ));
+                }
+                Ok(records.remove(0).outcome)
+            };
+
+            // Fault-free probe on the lone cluster: the shard window the
+            // seeded kill lands inside.
+            let mut probe = ShardedEngine::new(
+                ClusterPool::new(&HwConfig::default(), ExecMode::Fast, 1),
+                cfg,
+            );
+            let shard0_s = match run_sharded(&mut probe)? {
+                ShardedOutcome::Completed { c, report } => {
+                    compare_bitwise(case, "sharded fault-free vs single-cluster", &c, &want)?;
+                    report.shard_runs[0].seconds
+                }
+                other => {
+                    return Err(mismatch(
+                        case,
+                        format!("fault-free sharded run not completed: {}", other.label()),
+                    ))
+                }
+            };
+
+            // Seeded kill of the *only* cluster mid-shard: with no DSP
+            // survivor the checkpointed remainder must resume on the CPU
+            // lane, bitwise identical across the device boundary.
+            let mut rng = Rng64::new(case.fault_seed.unwrap_or(1));
+            let frac = 0.1 + 0.8 * (rng.range(0, 1000) as f64 / 1000.0);
+            let mut eng = ShardedEngine::new(
+                ClusterPool::new(&HwConfig::default(), ExecMode::Fast, 1),
+                cfg,
+            );
+            eng.install_faults(
+                0,
+                &FaultPlan::new(case.fault_seed.unwrap_or(1)).kill_cluster(shard0_s * frac),
+            );
+            match run_sharded(&mut eng)? {
+                // As with ShardFailover, a kill time past the shard's
+                // last issue point can pass unnoticed; the contract is
+                // bitwise identity plus a terminal outcome, and when the
+                // death *was* seen, a real CPU dispatch.
+                ShardedOutcome::Completed { c, report } => {
+                    if !report.failovers.is_empty() && eng.cpu_dispatches() == 0 {
+                        return Err(mismatch(
+                            case,
+                            "failover recorded but the CPU lane never dispatched",
+                        ));
+                    }
+                    compare_bitwise(case, "cpu-failover vs single-cluster", &c, &want)
+                }
+                other => Err(mismatch(
+                    case,
+                    format!(
+                        "sharded run under total cluster loss not completed: {}",
+                        other.label()
+                    ),
+                )),
+            }
+        }
     }
 }
 
@@ -840,7 +970,7 @@ pub struct FuzzSummary {
     /// Cases executed per regime, indexed parallel to [`Regime::ALL`].
     pub regime_counts: [usize; 4],
     /// Cases executed per oracle, indexed parallel to [`OracleKind::ALL`].
-    pub oracle_counts: [usize; 9],
+    pub oracle_counts: [usize; 10],
     /// Shrunk mismatches, in discovery order.
     pub mismatches: Vec<Mismatch>,
 }
@@ -972,6 +1102,21 @@ mod tests {
     }
 
     #[test]
+    fn oracle_schedule_covers_every_oracle_regime_pairing() {
+        let mut pairs = std::collections::HashSet::new();
+        for i in 0..160 {
+            let c = generate_case(7, i);
+            let o = OracleKind::ALL.iter().position(|&x| x == c.oracle).unwrap();
+            pairs.insert((o, (i % 4) as usize));
+        }
+        assert_eq!(
+            pairs.len(),
+            OracleKind::ALL.len() * 4,
+            "schedule must visit every (oracle, regime) pair"
+        );
+    }
+
+    #[test]
     fn interpret_sampler_preserves_regime_under_budget() {
         let mut rng = Rng64::new(11);
         for regime in Regime::ALL {
@@ -995,7 +1140,7 @@ mod tests {
                 oracle,
                 fault_seed: matches!(
                     oracle,
-                    OracleKind::FaultRecovery | OracleKind::ShardFailover
+                    OracleKind::FaultRecovery | OracleKind::ShardFailover | OracleKind::CpuFailover
                 )
                 .then_some(5),
             };

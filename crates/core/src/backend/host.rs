@@ -1,0 +1,348 @@
+//! Host-side mirrors of the DSP strategy walks, bit-exact with the
+//! simulated cluster.
+//!
+//! The CPU fallback backend must produce *bitwise identical* output to
+//! the DSP path it replaces, or cross-backend failover would silently
+//! change results.  Per-element f32 accumulation order on the DSP is
+//! fixed by three things: the strategy's blocking walk (which panels in
+//! which order), the micro-kernel's `k_u`-way accumulator split (chosen
+//! per [`KernelSpec`], so it depends on each row block's exact height),
+//! and — for K-parallel — the serial core-order GSM reduction.  These
+//! functions replay exactly that: the same loop nests as
+//! [`crate::mpar::run_mpar`], [`crate::kpar::run_kpar`] and
+//! [`crate::tgemm::run_tgemm`], invoking the *same* generated kernels
+//! from the shared [`KernelCache`] via `execute_fast`.
+//!
+//! Two deliberate differences, both bit-neutral:
+//!
+//! * DMA round trips (DDR↔GSM↔AM) move f32s verbatim, so panel staging
+//!   collapses to slice copies and the K-parallel `C_g` panel is the
+//!   output matrix itself (load/accumulate/store ≡ accumulate in
+//!   place).
+//! * On the DSP the pad columns of AM panels hold stale garbage; the
+//!   kernel computes them but stores never transfer them, and each
+//!   output column depends only on its own column of `B`.  Here pads
+//!   are zero-filled instead — same real columns, defined behaviour.
+//!
+//! Cores matter *functionally* only for K-parallel (the round-robin
+//! slice-to-core grouping feeds the reduction order); M-parallel and
+//! TGEMM chunk assignment only changes timing, never values.  Each
+//! core's private `C_a` is independent of the shared `C`, so computing
+//! and reducing the cores one after another is bitwise identical to the
+//! DSP's compute-in-parallel-then-reduce-serially schedule.
+
+use crate::{ChosenStrategy, FtimmError, KparBlocks, MparBlocks, TgemmParams};
+use kernelgen::{KernelCache, KernelSpec};
+
+/// Stage a `rows × cols` block of `src` (leading dimension `src_ld`) at
+/// `(r0, c0)` into `dst` with leading dimension `ld >= cols`, zeroing
+/// the pad columns (the DSP leaves them as stale garbage; both choices
+/// leave the real columns bit-identical).
+#[allow(clippy::too_many_arguments)]
+fn load_block(
+    dst: &mut Vec<f32>,
+    src: &[f32],
+    src_ld: usize,
+    r0: usize,
+    c0: usize,
+    rows: usize,
+    cols: usize,
+    ld: usize,
+) {
+    dst.clear();
+    dst.resize(rows * ld, 0.0);
+    for r in 0..rows {
+        let s = (r0 + r) * src_ld + c0;
+        dst[r * ld..r * ld + cols].copy_from_slice(&src[s..s + cols]);
+    }
+}
+
+/// Store the `rows × cols` real columns of `src` (leading dimension
+/// `ld`) back to `(r0, c0)` of `dst` (leading dimension `dst_ld`).
+#[allow(clippy::too_many_arguments)]
+fn store_block(
+    dst: &mut [f32],
+    dst_ld: usize,
+    r0: usize,
+    c0: usize,
+    rows: usize,
+    cols: usize,
+    src: &[f32],
+    ld: usize,
+) {
+    for r in 0..rows {
+        let d = (r0 + r) * dst_ld + c0;
+        dst[d..d + cols].copy_from_slice(&src[r * ld..r * ld + cols]);
+    }
+}
+
+/// Execute `C += A × B` on the host with the same blocking and
+/// accumulation order as the DSP path for `strategy`.  `a` is `mm × kk`
+/// (leading dimension `kk`), `b` is `kk × nn` (leading dimension `nn`),
+/// `c` is `mm × nn` (leading dimension `nn`).  `cores` is the DSP core
+/// count the plan was pinned for, clamped exactly as a fully-healthy
+/// cluster would ([`crate::mpar::run_mpar`] clamps to alive cores ∧
+/// `cores_per_cluster`; the CPU mirrors a cluster with all cores
+/// alive).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_strategy_host(
+    cache: &KernelCache,
+    strategy: &ChosenStrategy,
+    cores: usize,
+    cores_per_cluster: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    mm: usize,
+    nn: usize,
+    kk: usize,
+) -> Result<(), FtimmError> {
+    debug_assert!(a.len() >= mm * kk && b.len() >= kk * nn && c.len() >= mm * nn);
+    let cores = cores.clamp(1, cores_per_cluster);
+    match strategy {
+        ChosenStrategy::MPar(bl) => mpar_host(cache, bl, a, b, c, mm, nn, kk),
+        ChosenStrategy::KPar(bl) => kpar_host(cache, bl, cores, a, b, c, mm, nn, kk),
+        ChosenStrategy::TGemm => tgemm_host(cache, a, b, c, mm, nn, kk),
+    }
+}
+
+fn pad(n: usize) -> usize {
+    n.div_ceil(32) * 32
+}
+
+/// Mirror of [`crate::mpar::run_mpar`]'s walk.  Chunk-to-core
+/// assignment is timing-only (chunks write disjoint C rows), so the
+/// chunks run in issue order.
+#[allow(clippy::too_many_arguments)]
+fn mpar_host(
+    cache: &KernelCache,
+    bl: &MparBlocks,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    mm: usize,
+    nn: usize,
+    kk: usize,
+) -> Result<(), FtimmError> {
+    let (mut c_a, mut b_a, mut a_s) = (Vec::new(), Vec::new(), Vec::new());
+    for i in (0..nn).step_by(bl.n_g) {
+        let n_gcur = bl.n_g.min(nn - i);
+        for j in (0..kk).step_by(bl.k_g) {
+            let k_gcur = bl.k_g.min(kk - j);
+            for t in (0..mm).step_by(bl.m_a) {
+                let m_acur = bl.m_a.min(mm - t);
+                for ii in (0..n_gcur).step_by(bl.n_a) {
+                    let n_acur = bl.n_a.min(n_gcur - ii);
+                    let ld_cur = pad(n_acur);
+                    // C panel accumulates across this panel's k blocks
+                    // and round-trips through DDR between (i, j) panels.
+                    load_block(&mut c_a, c, nn, t, i + ii, m_acur, n_acur, ld_cur);
+                    for jj in (0..k_gcur).step_by(bl.k_a) {
+                        let k_acur = bl.k_a.min(k_gcur - jj);
+                        load_block(&mut b_a, b, nn, j + jj, i + ii, k_acur, n_acur, ld_cur);
+                        for tt in (0..m_acur).step_by(bl.m_s) {
+                            let ms_cur = bl.m_s.min(m_acur - tt);
+                            let kernel = cache.get(KernelSpec::new(ms_cur, k_acur, n_acur)?)?;
+                            load_block(&mut a_s, a, kk, t + tt, j + jj, ms_cur, k_acur, k_acur);
+                            kernel.execute_fast(
+                                &a_s,
+                                &b_a,
+                                &mut c_a[tt * ld_cur..(tt + ms_cur) * ld_cur],
+                            );
+                        }
+                    }
+                    store_block(c, nn, t, i + ii, m_acur, n_acur, &c_a, ld_cur);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Mirror of [`crate::kpar::run_kpar`]'s walk.  The round-robin
+/// slice-to-core grouping and the serial core-order reduction *are*
+/// value-significant, so `cores` (via `active`) is replayed exactly;
+/// each core's private `C_a` never reads `C`, so serialising
+/// compute-then-reduce per core preserves the bits.
+#[allow(clippy::too_many_arguments)]
+fn kpar_host(
+    cache: &KernelCache,
+    bl: &KparBlocks,
+    cores: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    mm: usize,
+    nn: usize,
+    kk: usize,
+) -> Result<(), FtimmError> {
+    let slices: Vec<usize> = (0..kk).step_by(bl.k_a).collect();
+    let active = cores.min(slices.len()).max(1);
+    let (mut c_a, mut b_a, mut a_s) = (Vec::new(), Vec::new(), Vec::new());
+    for i in (0..mm).step_by(bl.m_g) {
+        let m_gcur = bl.m_g.min(mm - i);
+        for j in (0..nn).step_by(bl.n_g) {
+            let n_gcur = bl.n_g.min(nn - j);
+            // The GSM C_g panel is an exact f32 round trip of C, so the
+            // reduction accumulates into C in place.
+            for ii in (0..m_gcur).step_by(bl.m_a) {
+                let m_acur = bl.m_a.min(m_gcur - ii);
+                for jj in (0..n_gcur).step_by(bl.n_a) {
+                    let n_acur = bl.n_a.min(n_gcur - jj);
+                    let ld_cur = pad(n_acur);
+                    for ci in 0..active {
+                        c_a.clear();
+                        c_a.resize(m_acur * ld_cur, 0.0);
+                        for &t in slices.iter().skip(ci).step_by(active) {
+                            let k_acur = bl.k_a.min(kk - t);
+                            load_block(&mut b_a, b, nn, t, j + jj, k_acur, n_acur, ld_cur);
+                            for u in (0..m_acur).step_by(bl.m_s) {
+                                let ms_cur = bl.m_s.min(m_acur - u);
+                                let kernel = cache.get(KernelSpec::new(ms_cur, k_acur, n_acur)?)?;
+                                load_block(&mut a_s, a, kk, i + ii + u, t, ms_cur, k_acur, k_acur);
+                                kernel.execute_fast(
+                                    &a_s,
+                                    &b_a,
+                                    &mut c_a[u * ld_cur..(u + ms_cur) * ld_cur],
+                                );
+                            }
+                        }
+                        // Serial reduction in core order: C_g += C_a.
+                        for r in 0..m_acur {
+                            let dst = &mut c[(i + ii + r) * nn + j + jj..][..n_acur];
+                            for (acc, v) in dst.iter_mut().zip(&c_a[r * ld_cur..]) {
+                                *acc += *v;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Mirror of [`crate::tgemm::run_tgemm`]'s walk (fixed 96-wide kernel,
+/// `k_u = 1`, N-chunk parallelisation — timing-only, chunks write
+/// disjoint C columns).
+fn tgemm_host(
+    cache: &KernelCache,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    mm: usize,
+    nn: usize,
+    kk: usize,
+) -> Result<(), FtimmError> {
+    let tp = TgemmParams::default();
+    let (mut c_a, mut b_a, mut a_s) = (Vec::new(), Vec::new(), Vec::new());
+    for i in (0..mm).step_by(tp.m_g) {
+        let m_cur = tp.m_g.min(mm - i);
+        for j in (0..kk).step_by(tp.k_g) {
+            let k_cur = tp.k_g.min(kk - j);
+            for t in (0..nn).step_by(tp.n_a) {
+                let n_cur = tp.n_a.min(nn - t);
+                load_block(&mut b_a, b, nn, j, t, k_cur, n_cur, tp.n_a);
+                load_block(&mut c_a, c, nn, i, t, m_cur, n_cur, tp.n_a);
+                for ii in (0..m_cur).step_by(tp.m_s) {
+                    let ms_cur = tp.m_s.min(m_cur - ii);
+                    let spec = KernelSpec::new(ms_cur, k_cur, tp.n_a)?;
+                    let kernel = cache.get_forced(spec, ms_cur.min(tp.m_s), 1)?;
+                    load_block(&mut a_s, a, kk, i + ii, j, ms_cur, k_cur, k_cur);
+                    kernel.execute_fast(&a_s, &b_a, &mut c_a[ii * tp.n_a..(ii + ms_cur) * tp.n_a]);
+                }
+                store_block(c, nn, i, t, m_cur, n_cur, &c_a, tp.n_a);
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{reference, FtImm, GemmProblem, GemmShape, Strategy};
+    use dspsim::{ExecMode, HwConfig, Machine};
+
+    /// Run `shape` on the DSP with the resolved plan for `strategy`,
+    /// then replay it on the host mirror and demand bitwise identity.
+    fn check_bitwise(shape: GemmShape, strategy: Strategy, cores: usize) {
+        let ft = FtImm::new(HwConfig::default());
+        let (mm, nn, kk) = (shape.m, shape.n, shape.k);
+        let a = reference::fill_matrix(mm * kk, 1);
+        let b = reference::fill_matrix(kk * nn, 2);
+        let c0 = reference::fill_matrix(mm * nn, 3);
+
+        let mut m = Machine::with_mode(ExecMode::Fast);
+        let p = GemmProblem::alloc(&mut m, mm, nn, kk).unwrap();
+        p.a.upload(&mut m, &a).unwrap();
+        p.b.upload(&mut m, &b).unwrap();
+        p.c.upload(&mut m, &c0).unwrap();
+        let plan = ft.plan(&shape, strategy, cores);
+        ft.run_plan(&mut m, &p, &plan, cores).unwrap();
+        let want = p.c.download(&mut m).unwrap();
+
+        let mut c = c0;
+        run_strategy_host(
+            ft.cache(),
+            &plan,
+            cores,
+            HwConfig::default().cores_per_cluster,
+            &a,
+            &b,
+            &mut c,
+            mm,
+            nn,
+            kk,
+        )
+        .unwrap();
+        let mismatches = want
+            .iter()
+            .zip(&c)
+            .filter(|(w, g)| w.to_bits() != g.to_bits())
+            .count();
+        assert_eq!(
+            mismatches,
+            0,
+            "{strategy:?} {mm}x{nn}x{kk} on {cores} cores: {mismatches} of {} elements differ",
+            want.len()
+        );
+    }
+
+    #[test]
+    fn mpar_host_is_bitwise_identical_to_the_dsp_walk() {
+        // Irregular edges: off-grid M, N below n_a, K with a tail.
+        check_bitwise(GemmShape::new(97, 24, 50), Strategy::MPar, 4);
+        check_bitwise(GemmShape::new(64, 96, 33), Strategy::MPar, 8);
+    }
+
+    #[test]
+    fn kpar_host_is_bitwise_identical_to_the_dsp_walk() {
+        // K-parallel is the hard case: the reduction order depends on
+        // the core count.  Cover several core counts including more
+        // cores than slices.
+        for cores in [1, 3, 8] {
+            check_bitwise(GemmShape::new(16, 16, 300), Strategy::KPar, cores);
+        }
+        check_bitwise(GemmShape::new(30, 20, 128), Strategy::KPar, 4);
+    }
+
+    #[test]
+    fn tgemm_host_is_bitwise_identical_to_the_dsp_walk() {
+        check_bitwise(GemmShape::new(70, 100, 40), Strategy::TGemm, 4);
+        check_bitwise(GemmShape::new(33, 96, 96), Strategy::TGemm, 8);
+    }
+
+    #[test]
+    fn auto_planned_shapes_stay_bitwise_across_backends() {
+        // Whatever Auto resolves to (per-regime), the host mirror must
+        // agree with the DSP bit for bit.
+        for shape in [
+            GemmShape::new(256, 32, 32),
+            GemmShape::new(32, 32, 512),
+            GemmShape::new(96, 32, 96),
+        ] {
+            check_bitwise(shape, Strategy::Auto, 8);
+        }
+    }
+}

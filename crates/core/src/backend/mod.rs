@@ -1,0 +1,166 @@
+//! Execution backends: the heterogeneous dispatch layer.
+//!
+//! FT-m7032 is a heterogeneous part — four GPDSP clusters *plus* a
+//! 16-core ARMv8 CPU (§II of the paper).  Everything else in this crate
+//! targets the simulated DSP cluster; this module promotes the CPU from
+//! a Fig. 7 chart baseline to a real execution resource:
+//!
+//! * [`Backend`] — the common surface over both devices: identity
+//!   ([`dspsim::BackendKind`]), peak flop/s, and an analytic performance
+//!   prediction ([`BackendPrediction`]).  The planner's analytic cost
+//!   model covers the DSP side; [`cpublas::predict`] covers the CPU
+//!   side, so the Fig. 7 comparison and live dispatch share one model
+//!   and one config.
+//! * [`DspBackend`] — the DSP cluster seen through [`crate::FtImm`]'s
+//!   planner and timing model.
+//! * [`CpuBackend`] — a stateful host executor that runs a resolved
+//!   [`crate::ChosenStrategy`] on the host CPU with the **same blocking
+//!   and accumulation order as the DSP path** (the kernelgen tiling
+//!   walk, *not* `cpublas::sgemm`'s Goto order), so a job that fails
+//!   over from the DSP pool to the CPU produces bitwise identical
+//!   output.  Simulated time is charged from [`cpublas::predict`]; see
+//!   [`cpu`] for the fault and deadline model.
+//!
+//! The sharded engine ([`crate::cluster::ShardedEngine`]) uses the CPU
+//! backend as the *last fault domain*: when every cluster is dead or
+//! unusable, shards spill to the CPU instead of being shed (gated by
+//! [`crate::cluster::SpillPolicy`]).  See DESIGN.md §4.4.
+
+pub mod cpu;
+pub(crate) mod host;
+
+pub use cpu::{CpuBackend, CpuLaneOutcome, CpuStripeRun};
+
+use crate::{FtImm, GemmShape, Strategy};
+use dspsim::BackendKind;
+
+/// An analytic performance prediction from a backend's cost model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackendPrediction {
+    /// Predicted wall time, seconds.
+    pub seconds: f64,
+    /// Achieved flop/s implied by the prediction.
+    pub flops_per_s: f64,
+    /// Efficiency against the backend's own peak.
+    pub efficiency: f64,
+}
+
+/// A compute device that can be asked who it is, how fast it could ever
+/// go, and how long a GEMM of a given shape should take on it.
+///
+/// This is the planner-facing surface: placement and spill decisions,
+/// the Fig. 7 CPU-vs-DSP comparison and the bench gates all consume the
+/// same predictions the dispatch layer charges as simulated time, so
+/// the model can never drift from the execution path.
+pub trait Backend {
+    /// Which device this is.
+    fn kind(&self) -> BackendKind;
+
+    /// Peak single-precision flop/s of the device.
+    fn peak_flops(&self) -> f64;
+
+    /// Predicted performance for `C += A×B` of `shape`.
+    fn predict(&self, shape: &GemmShape) -> BackendPrediction;
+}
+
+/// The simulated GPDSP cluster as a [`Backend`]: predictions come from
+/// [`FtImm`]'s planner (analytic ranking refined on the timing model,
+/// memoized in the plan cache).
+pub struct DspBackend<'a> {
+    ft: &'a FtImm,
+    strategy: Strategy,
+    cores: usize,
+}
+
+impl<'a> DspBackend<'a> {
+    /// A DSP backend planning with `strategy` on `cores` cores.
+    pub fn new(ft: &'a FtImm, strategy: Strategy, cores: usize) -> Self {
+        DspBackend {
+            ft,
+            strategy,
+            cores,
+        }
+    }
+}
+
+impl Backend for DspBackend<'_> {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Dsp
+    }
+
+    fn peak_flops(&self) -> f64 {
+        self.ft.cfg().core_peak_flops() * self.cores as f64
+    }
+
+    fn predict(&self, shape: &GemmShape) -> BackendPrediction {
+        let plan = self.ft.plan_full(shape, self.strategy, self.cores);
+        // Prefer the timing-model estimate; fall back to the analytic one
+        // (both are INFINITY-when-unknown sentinels).
+        let seconds = if plan.simulated_s.is_finite() {
+            plan.simulated_s
+        } else {
+            plan.predicted_s
+        };
+        let flops = 2.0 * shape.m as f64 * shape.n as f64 * shape.k as f64;
+        let flops_per_s = if seconds > 0.0 { flops / seconds } else { 0.0 };
+        BackendPrediction {
+            seconds,
+            flops_per_s,
+            efficiency: flops_per_s / self.peak_flops(),
+        }
+    }
+}
+
+impl Backend for CpuBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Cpu
+    }
+
+    fn peak_flops(&self) -> f64 {
+        self.cpu_cfg().peak_flops()
+    }
+
+    fn predict(&self, shape: &GemmShape) -> BackendPrediction {
+        let p = cpublas::predict(self.cpu_cfg(), shape.m, shape.n, shape.k);
+        BackendPrediction {
+            seconds: p.seconds,
+            flops_per_s: p.flops_per_s,
+            efficiency: p.efficiency,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dspsim::HwConfig;
+
+    #[test]
+    fn dsp_backend_predicts_through_the_plan_cache() {
+        let ft = FtImm::new(HwConfig::default());
+        let be = DspBackend::new(&ft, Strategy::Auto, 8);
+        assert_eq!(be.kind(), BackendKind::Dsp);
+        let shape = GemmShape::new(512, 32, 256);
+        let p = be.predict(&shape);
+        assert!(p.seconds > 0.0 && p.seconds.is_finite());
+        assert!(p.flops_per_s > 0.0);
+        assert!(p.efficiency > 0.0 && p.efficiency <= 1.0);
+        // A second prediction of the same shape is a plan-cache hit.
+        let misses = ft.plan_cache_stats().misses;
+        let p2 = be.predict(&shape);
+        assert_eq!(ft.plan_cache_stats().misses, misses);
+        assert_eq!(p.seconds.to_bits(), p2.seconds.to_bits());
+    }
+
+    #[test]
+    fn cpu_backend_prediction_matches_the_cpublas_model() {
+        let be = CpuBackend::new(cpublas::CpuConfig::default());
+        assert_eq!(be.kind(), BackendKind::Cpu);
+        let shape = GemmShape::new(2560, 32, 2560);
+        let want = cpublas::predict(&cpublas::CpuConfig::default(), 2560, 32, 2560);
+        let got = be.predict(&shape);
+        assert_eq!(got.seconds.to_bits(), want.seconds.to_bits());
+        assert_eq!(got.efficiency.to_bits(), want.efficiency.to_bits());
+        assert!((be.peak_flops() - 281.6e9).abs() < 1e6);
+    }
+}

@@ -40,6 +40,6 @@ pub use health::{ClusterHealth, HealthMonitor, HealthPolicy};
 pub use pool::{ClusterNode, ClusterPool};
 pub use sharded::{
     FailoverEvent, ShardRun, ShardedConfig, ShardedEngine, ShardedJob, ShardedOutcome,
-    ShardedRecord, ShardedReport,
+    ShardedRecord, ShardedReport, SpillPolicy, CPU_LANE,
 };
 pub use tenant::{TenantId, TenantSpec, TenantTable};

@@ -126,18 +126,33 @@ impl ClusterPool {
     }
 
     /// Usable clusters ordered for placement: healthy before degraded,
-    /// then by load (earliest simulated clock first), then by index for
-    /// determinism.
+    /// then by load (earliest simulated clock first), then by index.
+    ///
+    /// The ordering is **fully deterministic** so failover traces replay
+    /// identically run to run: equal loads always fall through to the
+    /// index tie-break.  Loads are compared after normalising `-0.0` to
+    /// `+0.0` — [`f64::total_cmp`] orders `-0.0 < +0.0`, so without the
+    /// normalisation two idle clusters could be ordered by the sign of
+    /// a zero their clock arithmetic happened to produce instead of by
+    /// index.
     pub fn placement(&self) -> Vec<usize> {
         let mut order: Vec<usize> = (0..self.nodes.len())
             .filter(|&i| self.nodes[i].monitor.health().is_usable())
             .collect();
+        let load = |i: usize| {
+            let l = self.nodes[i].load_s();
+            if l == 0.0 {
+                0.0
+            } else {
+                l
+            }
+        };
         order.sort_by(|&a, &b| {
             let (na, nb) = (&self.nodes[a], &self.nodes[b]);
             na.monitor
                 .health()
                 .cmp(&nb.monitor.health())
-                .then(na.load_s().total_cmp(&nb.load_s()))
+                .then(load(a).total_cmp(&load(b)))
                 .then(a.cmp(&b))
         });
         order
@@ -171,6 +186,24 @@ mod tests {
         // Advance cluster 0's clock so cluster 1 looks idle.
         pool.node_mut(0).machine.stall(0, 1e-3);
         assert_eq!(pool.placement(), vec![1, 0]);
+    }
+
+    #[test]
+    fn equal_loads_tie_break_by_index_deterministically() {
+        let mut pool = ClusterPool::new(&HwConfig::default(), ExecMode::Timing, 4);
+        // Identical nonzero loads on every cluster: placement must fall
+        // through to the index tie-break, and repeat calls must agree
+        // (failover traces replay identically).
+        for ci in 0..4 {
+            pool.node_mut(ci).machine.stall(0, 2.5e-4);
+        }
+        assert_eq!(pool.placement(), vec![0, 1, 2, 3]);
+        assert_eq!(pool.placement(), pool.placement());
+        // A strictly lighter cluster still wins over a lower index.
+        let mut pool = ClusterPool::new(&HwConfig::default(), ExecMode::Timing, 3);
+        pool.node_mut(0).machine.stall(0, 2e-4);
+        pool.node_mut(1).machine.stall(0, 2e-4);
+        assert_eq!(pool.placement(), vec![2, 0, 1]);
     }
 
     #[test]

@@ -34,12 +34,50 @@
 
 use super::pool::ClusterPool;
 use super::tenant::{TenantId, TenantSpec, TenantTable};
-use crate::engine::{EngineConfig, JobId};
+use crate::backend::{Backend as _, CpuBackend, CpuLaneOutcome, CpuStripeRun};
+use crate::engine::{BreakerState, CircuitBreaker, EngineConfig, JobId};
 use crate::grid::LAUNCH_OVERHEAD_S;
 use crate::plan::sharded::{plan_sharded, Shard, ShardedPlan};
-use crate::{ExecRun, Executor, FtImm, FtimmError, GemmProblem, GemmShape, Strategy};
-use dspsim::{Profiler, SimError, DEFAULT_PROFILE_CAPACITY};
+use crate::plan::Plan;
+use crate::{
+    ChosenStrategy, ExecRun, Executor, FtImm, FtimmError, GemmProblem, GemmShape, Strategy,
+};
+use cpublas::CpuConfig;
+use dspsim::{BackendKind, Profiler, SimError, DEFAULT_PROFILE_CAPACITY};
 use std::collections::VecDeque;
+
+/// Pseudo cluster index identifying the host CPU lane in shard
+/// assignments, shard runs and failover events (the CPU is a device,
+/// not a pool member; check [`BackendKind`] before treating an index as
+/// a pool position).
+pub const CPU_LANE: usize = usize::MAX;
+
+/// When the sharded engine may spill work to the host CPU backend — the
+/// last fault domain after every cluster is dead or unusable.
+///
+/// The CPU lane runs the *pinned* plan through the host mirror of the
+/// DSP blocking walk ([`crate::backend::CpuBackend`]), so spilled output
+/// stays bitwise identical to an all-DSP run; the policy only decides
+/// *whether* the lane may be used, never *how* results differ.  A CPU
+/// circuit breaker additionally gates the lane regardless of policy:
+/// repeated transient CPU faults open it and spills fail fast until the
+/// cooldown half-opens it again.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum SpillPolicy {
+    /// Never touch the CPU lane: jobs with no usable cluster fail or
+    /// shed exactly as before the lane existed (the default).
+    #[default]
+    Never,
+    /// Spill only when placement finds no usable cluster (every fault
+    /// domain dead or degraded-out): whole jobs and mid-kill salvage
+    /// remainders resume on the CPU instead of being shed.
+    LastResort,
+    /// Everything `LastResort` does, plus deadline-pressure routing:
+    /// a job whose DSP cost-model estimate cannot meet its deadline is
+    /// dispatched to the CPU up front when the CPU model says the
+    /// deadline is meetable there.
+    DeadlineAware,
+}
 
 /// Tuning knobs for the sharded engine.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -60,6 +98,12 @@ pub struct ShardedConfig {
     pub profile: bool,
     /// Span-ring capacity per shard dispatch when profiling.
     pub profile_capacity: usize,
+    /// When the CPU lane may absorb work (default: [`SpillPolicy::Never`],
+    /// preserving the pure-DSP failure semantics).
+    pub spill: SpillPolicy,
+    /// The CPU model config: both the analytic cost model charged as
+    /// simulated time and the spill-decision input.
+    pub cpu: CpuConfig,
 }
 
 impl Default for ShardedConfig {
@@ -75,6 +119,8 @@ impl Default for ShardedConfig {
             max_queue_per_cluster: 64,
             profile: false,
             profile_capacity: DEFAULT_PROFILE_CAPACITY,
+            spill: SpillPolicy::Never,
+            cpu: CpuConfig::default(),
         }
     }
 }
@@ -149,8 +195,10 @@ impl ShardedJob {
 /// One shard dispatch that ran (possibly partially, if its cluster died).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ShardRun {
-    /// Cluster the dispatch ran on.
+    /// Cluster the dispatch ran on ([`CPU_LANE`] for the CPU backend).
     pub cluster: usize,
+    /// Device the dispatch ran on.
+    pub backend: BackendKind,
     /// First C row covered.
     pub r0: usize,
     /// One past the last C row *completed* (on cluster death this is the
@@ -165,8 +213,11 @@ pub struct ShardRun {
 pub struct FailoverEvent {
     /// The cluster that died.
     pub from: usize,
-    /// The surviving cluster the remainder resumed on.
+    /// The surviving cluster the remainder resumed on ([`CPU_LANE`] when
+    /// it spilled to the CPU backend).
     pub to: usize,
+    /// Device the remainder resumed on.
+    pub to_backend: BackendKind,
     /// First row of the resumed remainder (== salvage checkpoint).
     pub at_row: usize,
     /// Rows salvaged from the dead cluster's checkpointed DDR.
@@ -277,12 +328,20 @@ pub struct ShardedEngine {
     records: Vec<ShardedRecord>,
     next_id: u64,
     profilers: Vec<Vec<Profiler>>,
+    cpu: CpuBackend,
 }
 
 impl ShardedEngine {
     /// Build an engine over a pool.
     pub fn new(pool: ClusterPool, cfg: ShardedConfig) -> Self {
         let clusters = pool.len();
+        // The CPU lane replays plans pinned for the pool's clusters, so
+        // its host walk must clamp core counts the way those clusters do.
+        let mut cpu =
+            CpuBackend::new(cfg.cpu).with_dsp_cores(pool.node(0).machine.cfg.cores_per_cluster);
+        if cfg.profile {
+            cpu.enable_profiling(cfg.profile_capacity);
+        }
         ShardedEngine {
             pool,
             cfg,
@@ -291,6 +350,7 @@ impl ShardedEngine {
             records: Vec::new(),
             next_id: 0,
             profilers: vec![Vec::new(); clusters],
+            cpu,
         }
     }
 
@@ -299,9 +359,30 @@ impl ShardedEngine {
         &self.pool
     }
 
+    /// The CPU lane (clock, dispatch count, breaker state).
+    pub fn cpu(&self) -> &CpuBackend {
+        &self.cpu
+    }
+
+    /// Number of stripe dispatches the CPU lane has absorbed.
+    pub fn cpu_dispatches(&self) -> u64 {
+        self.cpu.dispatches()
+    }
+
+    /// The CPU lane's circuit breaker.
+    pub fn cpu_breaker(&self) -> &CircuitBreaker {
+        self.cpu.breaker()
+    }
+
     /// Install a fault plan into one cluster's fault domain.
     pub fn install_faults(&mut self, cluster: usize, plan: &dspsim::FaultPlan) {
         self.pool.install_faults(cluster, plan);
+    }
+
+    /// Arm the CPU lane's faults from a plan (slowdowns and transient
+    /// span failures; see [`dspsim::FaultPlan::fail_cpu`]).
+    pub fn install_cpu_faults(&mut self, plan: &dspsim::FaultPlan) {
+        self.cpu.install_faults(plan);
     }
 
     /// Register a tenant.
@@ -333,6 +414,18 @@ impl ShardedEngine {
         std::mem::replace(&mut self.profilers, vec![Vec::new(); self.pool.len()])
     }
 
+    /// The CPU lane's profiler track (one [`dspsim::Phase::Compute`]
+    /// span per checkpoint span run on the host), drained for dual-
+    /// backend Chrome-trace export.  Re-arms recording if
+    /// [`ShardedConfig::profile`] is on.
+    pub fn take_cpu_profiler(&mut self) -> Profiler {
+        let p = self.cpu.take_profiler();
+        if self.cfg.profile {
+            self.cpu.enable_profiling(self.cfg.profile_capacity);
+        }
+        p
+    }
+
     /// Drain the queue: run every queued job to a terminal outcome and
     /// return all records (including submit-time rejections) in id
     /// order.
@@ -345,10 +438,16 @@ impl ShardedEngine {
             };
             self.tenants.release(tenant);
             let outcome = if self.pool.placement().is_empty() {
-                ShardedOutcome::Failed {
-                    error: FtimmError::Invalid(
-                        "no usable clusters: every fault domain is dead".into(),
-                    ),
+                if self.spill_admits() {
+                    // Last fault domain: the whole job runs on the CPU
+                    // lane instead of failing terminally.
+                    self.run_job_cpu(ft, tenant, job)
+                } else {
+                    ShardedOutcome::Failed {
+                        error: FtimmError::Invalid(
+                            "no usable clusters: every fault domain is dead".into(),
+                        ),
+                    }
                 }
             } else {
                 self.run_job(ft, tenant, job)
@@ -366,7 +465,8 @@ impl ShardedEngine {
 
     // ------------------------------------------------------------ internals
 
-    /// Move open breakers towards half-open on each cluster's clock.
+    /// Move open breakers towards half-open on each cluster's clock (and
+    /// the CPU lane's breaker on the CPU clock).
     fn tick_breakers(&mut self) {
         let cooldown = self.cfg.engine.breaker_cooldown_s;
         for ci in 0..self.pool.len() {
@@ -376,6 +476,16 @@ impl ShardedEngine {
                 b.tick(now, cooldown);
             }
         }
+        let now = self.cpu.elapsed();
+        self.cpu.breaker_mut().tick(now, cooldown);
+    }
+
+    /// Whether spill policy and the CPU breaker currently admit work on
+    /// the CPU lane.  A half-open breaker admits one probe — the spilled
+    /// dispatch itself is the canary: success closes the breaker,
+    /// another fault re-opens it.
+    fn spill_admits(&self) -> bool {
+        self.cfg.spill != SpillPolicy::Never && self.cpu.breaker().state() != BreakerState::Open
     }
 
     /// Shed lowest-priority queued jobs while the queue exceeds the
@@ -444,26 +554,40 @@ impl ShardedEngine {
         self.pool.observe(ci);
     }
 
-    /// Run one job to a terminal outcome: plan across usable clusters,
-    /// dispatch shards, fail over on cluster death, merge.
-    fn run_job(&mut self, ft: &FtImm, tenant: TenantId, mut job: ShardedJob) -> ShardedOutcome {
-        let shape = job.shape();
+    /// Reject a functional-mode job whose host buffers don't match its
+    /// dimensions (timing-mode jobs are data-free by convention).
+    fn validate(&self, job: &ShardedJob) -> Option<ShardedOutcome> {
         let functional = self.pool.node(0).machine.mode.is_functional();
         if functional
             && (job.a.len() != job.m * job.k
                 || job.b.len() != job.k * job.n
                 || job.c.len() != job.m * job.n)
         {
-            return ShardedOutcome::Failed {
+            return Some(ShardedOutcome::Failed {
                 error: FtimmError::Invalid(format!(
                     "host buffer sizes do not match {}x{}x{}",
                     job.m, job.n, job.k
                 )),
-            };
+            });
         }
-        let deadline = job
-            .deadline_s
-            .or_else(|| self.tenants.spec(tenant).and_then(|s| s.default_deadline_s));
+        None
+    }
+
+    /// The job's effective deadline: its own, else the tenant default.
+    fn effective_deadline(&self, tenant: TenantId, job: &ShardedJob) -> Option<f64> {
+        job.deadline_s
+            .or_else(|| self.tenants.spec(tenant).and_then(|s| s.default_deadline_s))
+    }
+
+    /// Run one job to a terminal outcome: plan across usable clusters,
+    /// dispatch shards, fail over on cluster death, merge.
+    fn run_job(&mut self, ft: &FtImm, tenant: TenantId, mut job: ShardedJob) -> ShardedOutcome {
+        let shape = job.shape();
+        let functional = self.pool.node(0).machine.mode.is_functional();
+        if let Some(out) = self.validate(&job) {
+            return out;
+        }
+        let deadline = self.effective_deadline(tenant, &job);
         let splan = plan_sharded(
             ft,
             &shape,
@@ -472,15 +596,88 @@ impl ShardedEngine {
             &self.pool.placement(),
             self.cfg.engine.resilience.ckpt_rows,
         );
+        // Deadline-pressure routing: when the DSP cost model says the
+        // deadline is unmeetable but the CPU model says it is, dispatch
+        // the whole job to the CPU lane up front.
+        if self.cfg.spill == SpillPolicy::DeadlineAware && self.spill_admits() {
+            if let Some(d) = deadline {
+                let cpu_s = self.cpu.predict(&shape).seconds + LAUNCH_OVERHEAD_S;
+                if splan.predicted_s > d && cpu_s <= d {
+                    return self.spill_whole_job(ft, tenant, job, splan.plan, deadline);
+                }
+            }
+        }
         let mut work: VecDeque<Shard> = splan.shards.iter().copied().collect();
         let mut shard_runs = Vec::new();
         let mut failovers = Vec::new();
         let mut busy = vec![0.0f64; self.pool.len()];
+        let mut cpu_busy = 0.0f64;
         let mut launches = 0usize;
         let mut rows_done = 0usize;
 
-        while let Some(shard) = work.pop_front() {
+        while let Some(mut shard) = work.pop_front() {
+            // A queued DSP shard whose cluster died before dispatch is
+            // rerouted whole: to the best survivor, else the CPU lane.
+            if shard.backend == BackendKind::Dsp && !self.pool.health(shard.cluster).is_usable() {
+                if let Some(&to) = self.pool.placement().first() {
+                    shard.cluster = to;
+                } else if self.spill_admits() {
+                    failovers.push(FailoverEvent {
+                        from: shard.cluster,
+                        to: CPU_LANE,
+                        to_backend: BackendKind::Cpu,
+                        at_row: shard.r0,
+                        rows_salvaged: 0,
+                        rows_resumed: shard.rows(),
+                    });
+                    shard.cluster = CPU_LANE;
+                    shard.backend = BackendKind::Cpu;
+                } else {
+                    return ShardedOutcome::Failed {
+                        error: FtimmError::Invalid(
+                            "no usable clusters: every fault domain is dead".into(),
+                        ),
+                    };
+                }
+            }
             launches += 1;
+            if shard.backend == BackendKind::Cpu {
+                let run = match self.run_cpu_stripe(
+                    ft,
+                    &splan.plan.strategy,
+                    &mut job,
+                    shard.r0,
+                    shard.r1,
+                    deadline,
+                ) {
+                    Ok(run) => run,
+                    Err(error) => return ShardedOutcome::Failed { error },
+                };
+                cpu_busy += run.seconds;
+                shard_runs.push(ShardRun {
+                    cluster: CPU_LANE,
+                    backend: BackendKind::Cpu,
+                    r0: shard.r0,
+                    r1: shard.r0 + run.rows_verified,
+                    seconds: run.seconds,
+                });
+                match run.outcome {
+                    CpuLaneOutcome::Done => {
+                        rows_done += shard.rows();
+                        continue;
+                    }
+                    CpuLaneOutcome::Fault { nth } => {
+                        return self.shed_on_cpu_fault(tenant, nth, shard.r0 + run.rows_verified);
+                    }
+                    CpuLaneOutcome::Deadline { at } => {
+                        return ShardedOutcome::DeadlineExceeded {
+                            at,
+                            rows_verified: rows_done + run.rows_verified,
+                            rows_total: job.m,
+                        };
+                    }
+                }
+            }
             let (mut exec, problem, dt) = match self.run_shard(ft, &splan, &job, shard, deadline) {
                 Ok(run) => run,
                 Err(error) => return ShardedOutcome::Failed { error },
@@ -504,6 +701,7 @@ impl ShardedEngine {
                     rows_done += shard.rows();
                     shard_runs.push(ShardRun {
                         cluster: shard.cluster,
+                        backend: BackendKind::Dsp,
                         r0: shard.r0,
                         r1: shard.r1,
                         seconds: dt,
@@ -526,6 +724,7 @@ impl ShardedEngine {
                     rows_done += salvaged;
                     shard_runs.push(ShardRun {
                         cluster: shard.cluster,
+                        backend: BackendKind::Dsp,
                         r0: shard.r0,
                         r1: shard.r0 + salvaged,
                         seconds: dt,
@@ -533,12 +732,18 @@ impl ShardedEngine {
                     if salvaged == shard.rows() {
                         continue; // died after its last span: nothing to resume
                     }
-                    let Some(&to) = self.pool.placement().first() else {
-                        return ShardedOutcome::Failed { error: e };
+                    // Resume the checkpointed remainder on the best
+                    // survivor; with none left, the CPU lane is the last
+                    // fault domain before the job is lost.
+                    let (to, to_backend) = match self.pool.placement().first() {
+                        Some(&to) => (to, BackendKind::Dsp),
+                        None if self.spill_admits() => (CPU_LANE, BackendKind::Cpu),
+                        None => return ShardedOutcome::Failed { error: e },
                     };
                     failovers.push(FailoverEvent {
                         from: shard.cluster,
                         to,
+                        to_backend,
                         at_row: shard.r0 + salvaged,
                         rows_salvaged: salvaged,
                         rows_resumed: shard.r1 - shard.r0 - salvaged,
@@ -547,6 +752,7 @@ impl ShardedEngine {
                         cluster: to,
                         r0: shard.r0 + salvaged,
                         r1: shard.r1,
+                        backend: to_backend,
                     });
                 }
                 Err(e) if e.is_deadline() => {
@@ -564,7 +770,12 @@ impl ShardedEngine {
             }
         }
 
-        let worst = busy.iter().copied().fold(0.0f64, f64::max);
+        // Clusters overlap each other, but CPU dispatches inside this
+        // loop only ever happen *after* a cluster death (salvage
+        // remainders, rerouted shards), so the lane's busy time
+        // serialises after the cluster timeline instead of overlapping
+        // it — losing a cluster is never free.
+        let worst = busy.iter().copied().fold(0.0, f64::max) + cpu_busy;
         ShardedOutcome::Completed {
             c: std::mem::take(&mut job.c),
             report: Box::new(ShardedReport {
@@ -615,6 +826,127 @@ impl ShardedEngine {
         let exec = ex.dispatch(m, &problem)?;
         let dt = m.elapsed() - t0;
         Ok((exec, problem, dt))
+    }
+
+    /// Dispatch rows `r0..r1` on the CPU lane with the pinned strategy.
+    /// Functional jobs compute in place into `job.c`; timing jobs only
+    /// charge model time (the backend's data-free convention).  A clean
+    /// dispatch records success on the CPU breaker (inside the backend).
+    fn run_cpu_stripe(
+        &mut self,
+        ft: &FtImm,
+        strategy: &ChosenStrategy,
+        job: &mut ShardedJob,
+        r0: usize,
+        r1: usize,
+        deadline: Option<f64>,
+    ) -> Result<CpuStripeRun, FtimmError> {
+        let (n, k) = (job.n, job.k);
+        let functional = self.pool.node(0).machine.mode.is_functional();
+        let ckpt = self.cfg.engine.resilience.ckpt_rows;
+        let (a, b, c): (&[f32], &[f32], &mut [f32]) = if functional {
+            (&job.a[r0 * k..r1 * k], &job.b, &mut job.c[r0 * n..r1 * n])
+        } else {
+            (&[], &[], &mut [])
+        };
+        self.cpu.run_stripe(
+            ft.cache(),
+            strategy,
+            job.cores,
+            a,
+            b,
+            c,
+            n,
+            k,
+            r1 - r0,
+            ckpt,
+            deadline,
+        )
+    }
+
+    /// Terminal outcome for a transient CPU fault: the CPU is the last
+    /// fault domain, so there is nowhere further to fail over — record
+    /// the fault on the CPU breaker and shed the job with a reason
+    /// instead of retrying (retry policy belongs to the submitter).
+    fn shed_on_cpu_fault(&mut self, tenant: TenantId, nth: u64, at_row: usize) -> ShardedOutcome {
+        let threshold = self.cfg.engine.breaker_threshold;
+        let now = self.cpu.elapsed();
+        self.cpu.breaker_mut().record_fault(threshold, now);
+        ShardedOutcome::Shed {
+            priority: self.tenants.priority(tenant),
+            reason: format!(
+                "cpu backend fault (span {nth}) at row {at_row}: \
+                 last fault domain, nothing left to fail over to"
+            ),
+        }
+    }
+
+    /// Run a whole job on the CPU lane because placement found no usable
+    /// cluster (the [`SpillPolicy::LastResort`] entry point).
+    fn run_job_cpu(&mut self, ft: &FtImm, tenant: TenantId, job: ShardedJob) -> ShardedOutcome {
+        if let Some(out) = self.validate(&job) {
+            return out;
+        }
+        let deadline = self.effective_deadline(tenant, &job);
+        // The plan is still pinned through the shared LRU cache so a
+        // later all-DSP run of the same shape stays bit-comparable.
+        let plan = ft.plan_full(&job.shape(), job.strategy, job.cores);
+        self.spill_whole_job(ft, tenant, job, plan, deadline)
+    }
+
+    /// Dispatch an entire job as one CPU-lane stripe under the pinned
+    /// `plan`, producing its terminal outcome.
+    fn spill_whole_job(
+        &mut self,
+        ft: &FtImm,
+        tenant: TenantId,
+        mut job: ShardedJob,
+        plan: Plan,
+        deadline: Option<f64>,
+    ) -> ShardedOutcome {
+        let shape = job.shape();
+        let predicted = self.cpu.predict(&shape).seconds + LAUNCH_OVERHEAD_S;
+        let splan = ShardedPlan {
+            plan,
+            shards: vec![Shard {
+                cluster: CPU_LANE,
+                r0: 0,
+                r1: job.m,
+                backend: BackendKind::Cpu,
+            }],
+            predicted_s: predicted,
+        };
+        let strategy = splan.plan.strategy;
+        let rows = job.m;
+        let run = match self.run_cpu_stripe(ft, &strategy, &mut job, 0, rows, deadline) {
+            Ok(run) => run,
+            Err(error) => return ShardedOutcome::Failed { error },
+        };
+        let shard_run = ShardRun {
+            cluster: CPU_LANE,
+            backend: BackendKind::Cpu,
+            r0: 0,
+            r1: run.rows_verified,
+            seconds: run.seconds,
+        };
+        match run.outcome {
+            CpuLaneOutcome::Done => ShardedOutcome::Completed {
+                c: std::mem::take(&mut job.c),
+                report: Box::new(ShardedReport {
+                    plan: splan,
+                    shard_runs: vec![shard_run],
+                    failovers: Vec::new(),
+                    seconds: run.seconds + LAUNCH_OVERHEAD_S,
+                    useful_flops: shape.flops(),
+                }),
+            },
+            CpuLaneOutcome::Fault { nth } => self.shed_on_cpu_fault(tenant, nth, run.rows_verified),
+            CpuLaneOutcome::Deadline { at } => ShardedOutcome::DeadlineExceeded {
+                at,
+                rows_verified: run.rows_verified,
+                rows_total: job.m,
+            },
+        }
     }
 }
 
@@ -789,6 +1121,83 @@ mod tests {
         eng.submit(t, job());
         let records = eng.run_all(&ft);
         assert_eq!(records[0].outcome.label(), "failed");
+    }
+
+    #[test]
+    fn last_resort_spill_runs_the_whole_job_on_cpu_bitwise() {
+        let ft = FtImm::new(HwConfig::default());
+        let pool = ClusterPool::new(&HwConfig::default(), ExecMode::Fast, 1);
+        let mut eng = ShardedEngine::new(
+            pool,
+            ShardedConfig {
+                spill: SpillPolicy::LastResort,
+                ..test_cfg()
+            },
+        );
+        eng.pool.mark_dead(0);
+        let t = eng.register_tenant(TenantSpec::new("t", 3));
+        eng.submit(t, job());
+        let records = eng.run_all(&ft);
+        let ShardedOutcome::Completed { c, report } = &records[0].outcome else {
+            panic!(
+                "expected CPU completion, got {}",
+                records[0].outcome.label()
+            );
+        };
+        assert_eq!(eng.cpu_dispatches(), 1);
+        assert_eq!(report.shard_runs.len(), 1);
+        assert_eq!(report.shard_runs[0].backend, dspsim::BackendKind::Cpu);
+        assert_eq!(report.shard_runs[0].cluster, CPU_LANE);
+        assert_eq!(report.shard_runs[0].r1, M);
+        assert!(report.seconds > 0.0);
+        // The CPU lane replays the pinned plan's checkpointed walk, so
+        // the spilled result is bitwise identical to an all-DSP run.
+        assert_bits_eq(c, &single_cluster_oracle(&ft));
+    }
+
+    #[test]
+    fn deadline_aware_policy_routes_pressured_jobs_to_the_cpu() {
+        let ft = FtImm::new(HwConfig::default());
+        let pool = ClusterPool::new(&HwConfig::default(), ExecMode::Timing, 2);
+        // A CPU model fast enough that deadline pressure prefers it.
+        let fast_cpu = cpublas::CpuConfig {
+            clock_hz: 2.2e12,
+            ddr_bw: 42.6e12,
+            barrier_s: 8e-9,
+            ..cpublas::CpuConfig::default()
+        };
+        let mut eng = ShardedEngine::new(
+            pool,
+            ShardedConfig {
+                spill: SpillPolicy::DeadlineAware,
+                cpu: fast_cpu,
+                ..test_cfg()
+            },
+        );
+        let shape = GemmShape::new(1 << 16, 32, 32);
+        let splan = crate::plan::sharded::plan_sharded(&ft, &shape, Strategy::Auto, 8, &[0, 1], 8);
+        let cpu_s = cpublas::predict(&fast_cpu, shape.m, shape.n, shape.k).seconds
+            + crate::grid::LAUNCH_OVERHEAD_S;
+        let deadline = splan.predicted_s * 0.5;
+        assert!(
+            cpu_s <= deadline,
+            "test premise: fast CPU ({cpu_s}s) meets half the DSP estimate ({deadline}s)"
+        );
+        let t = eng.register_tenant(TenantSpec::new("t", 5));
+        eng.submit(
+            t,
+            ShardedJob::timing(shape.m, shape.n, shape.k, Strategy::Auto, 8)
+                .with_deadline(deadline),
+        );
+        let records = eng.run_all(&ft);
+        let ShardedOutcome::Completed { report, .. } = &records[0].outcome else {
+            panic!("expected completion, got {}", records[0].outcome.label());
+        };
+        assert_eq!(eng.cpu_dispatches(), 1, "job should have routed to the CPU");
+        assert_eq!(report.shard_runs[0].backend, dspsim::BackendKind::Cpu);
+        // Both clusters stayed idle.
+        assert_eq!(eng.pool().node(0).machine.elapsed(), 0.0);
+        assert_eq!(eng.pool().node(1).machine.elapsed(), 0.0);
     }
 
     #[test]

@@ -10,6 +10,11 @@ pub enum FtimmError {
     Sim(dspsim::SimError),
     /// Kernel generation failure.
     Gen(kernelgen::GenError),
+    /// Transient failure of the host CPU fallback backend (injected via
+    /// [`dspsim::FaultPlan::fail_cpu`]): the dispatched span's work is
+    /// lost, but the backend itself survives and may be retried — or the
+    /// job shed — by the caller's policy.
+    CpuFault(String),
     /// Problem-level validation failure.
     Invalid(String),
 }
@@ -42,6 +47,16 @@ impl FtimmError {
     /// cluster instead.
     pub fn is_cluster_death(&self) -> bool {
         matches!(self, FtimmError::Sim(SimError::ClusterFailed { .. }))
+    }
+
+    /// Whether this error is a transient fault of the host CPU fallback
+    /// backend.  Like [`FtimmError::is_transient_fault`] it marks lost
+    /// work rather than a dead domain, but it feeds the *CPU* circuit
+    /// breaker: since the CPU lane is the last fault domain there is
+    /// nowhere further to fail over, so the sharded engine sheds the job
+    /// with a reason instead of retrying.
+    pub fn is_cpu_fault(&self) -> bool {
+        matches!(self, FtimmError::CpuFault(_))
     }
 
     /// Whether this error is a deadline preemption (the armed watchdog
@@ -77,6 +92,7 @@ impl fmt::Display for FtimmError {
         match self {
             FtimmError::Sim(e) => write!(f, "simulator error: {e}"),
             FtimmError::Gen(e) => write!(f, "kernel generation error: {e}"),
+            FtimmError::CpuFault(s) => write!(f, "cpu backend fault: {s}"),
             FtimmError::Invalid(s) => write!(f, "invalid problem: {s}"),
         }
     }
@@ -87,7 +103,7 @@ impl std::error::Error for FtimmError {
         match self {
             FtimmError::Sim(e) => Some(e),
             FtimmError::Gen(e) => Some(e),
-            FtimmError::Invalid(_) => None,
+            FtimmError::CpuFault(_) | FtimmError::Invalid(_) => None,
         }
     }
 }
@@ -115,5 +131,10 @@ mod tests {
         assert!(std::error::Error::source(&e).is_some());
         let e = FtimmError::Invalid("bad".into());
         assert!(e.to_string().contains("bad"));
+        let e = FtimmError::CpuFault("span 3 lost".into());
+        assert!(e.to_string().contains("cpu backend fault"));
+        assert!(e.is_cpu_fault());
+        assert!(!e.is_transient_fault() && !e.is_cluster_death() && !e.is_deadline());
+        assert!(std::error::Error::source(&e).is_none());
     }
 }

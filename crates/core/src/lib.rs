@@ -39,6 +39,7 @@
 
 pub mod adjust;
 pub mod api;
+pub mod backend;
 pub mod batch;
 pub mod cluster;
 pub mod engine;
@@ -61,10 +62,13 @@ pub use adjust::{
     ChosenStrategy,
 };
 pub use api::{FtImm, Strategy};
+pub use backend::{
+    Backend, BackendPrediction, CpuBackend, CpuLaneOutcome, CpuStripeRun, DspBackend,
+};
 pub use batch::{BatchReport, GemmBatch};
 pub use cluster::{
-    ClusterHealth, ClusterPool, FailoverEvent, ShardedConfig, ShardedEngine, ShardedJob,
-    ShardedOutcome, ShardedRecord, ShardedReport, TenantId, TenantSpec,
+    ClusterHealth, ClusterPool, FailoverEvent, ShardRun, ShardedConfig, ShardedEngine, ShardedJob,
+    ShardedOutcome, ShardedRecord, ShardedReport, SpillPolicy, TenantId, TenantSpec, CPU_LANE,
 };
 pub use engine::{
     BreakerState, CircuitBreaker, EngineConfig, Job, JobId, JobOutcome, JobQueue, JobRecord,

@@ -44,16 +44,23 @@
 use crate::grid::LAUNCH_OVERHEAD_S;
 use crate::plan::Plan;
 use crate::{FtImm, GemmShape, Strategy};
+use dspsim::BackendKind;
 
-/// One contiguous M-stripe of a sharded GEMM, assigned to a cluster.
+/// One contiguous M-stripe of a sharded GEMM, assigned to a device.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Shard {
     /// Index of the cluster (in the caller's pool) that runs the stripe.
+    /// Meaningless when `backend` is [`BackendKind::Cpu`] (the sharded
+    /// engine uses [`crate::cluster::CPU_LANE`]).
     pub cluster: usize,
     /// First C row of the stripe (inclusive).
     pub r0: usize,
     /// One past the last C row of the stripe.
     pub r1: usize,
+    /// Device the stripe is placed on.  The cost-model planner only
+    /// emits [`BackendKind::Dsp`] shards; CPU shards are built by the
+    /// sharded engine when spill policy routes work to the host lane.
+    pub backend: BackendKind,
 }
 
 impl Shard {
@@ -129,7 +136,12 @@ pub fn plan_sharded(
     for (i, &cluster) in placement.iter().take(best_d).enumerate() {
         let u = base + usize::from(i < rem);
         let r1 = (r0 + u * g).min(shape.m);
-        shards.push(Shard { cluster, r0, r1 });
+        shards.push(Shard {
+            cluster,
+            r0,
+            r1,
+            backend: BackendKind::Dsp,
+        });
         r0 = r1;
     }
     debug_assert_eq!(r0, shape.m);

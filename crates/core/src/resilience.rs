@@ -222,6 +222,25 @@ impl AbftRef {
     }
 }
 
+/// The checkpoint span partition of `mm` rows at granularity `ckpt`:
+/// contiguous `[r0, r1)` spans on the `ckpt` grid, the last possibly
+/// short.  `ckpt == 0` (checkpointing off) or `ckpt >= mm` yields the
+/// single monolithic span.  This partition is the unit of bitwise
+/// identity across execution backends: the DSP resilience layer and the
+/// CPU fallback backend ([`crate::backend::CpuBackend`]) both anchor
+/// their M-blocking at each span start, so any executor that walks the
+/// same partition with the same pinned plan produces the same bits.
+pub(crate) fn ckpt_spans(mm: usize, ckpt: usize) -> Vec<(usize, usize)> {
+    if ckpt == 0 || ckpt >= mm {
+        vec![(0, mm)]
+    } else {
+        (0..mm)
+            .step_by(ckpt)
+            .map(|r| (r, (r + ckpt).min(mm)))
+            .collect()
+    }
+}
+
 /// The row-restricted sub-problem `C[r0..r1, :] += A[r0..r1, :] × B`.
 fn row_span(p: &GemmProblem, r0: usize, r1: usize) -> GemmProblem {
     GemmProblem {
@@ -370,15 +389,7 @@ fn run_spans(
     };
 
     let mm = p.m();
-    let ckpt = cx.rcfg.ckpt_rows;
-    let spans: Vec<(usize, usize)> = if ckpt == 0 || ckpt >= mm {
-        vec![(0, mm)]
-    } else {
-        (0..mm)
-            .step_by(ckpt)
-            .map(|r| (r, (r + ckpt).min(mm)))
-            .collect()
-    };
+    let spans = ckpt_spans(mm, cx.rcfg.ckpt_rows);
     let checkpointing = spans.len() > 1;
 
     for &(s0, s1) in &spans {

@@ -11,7 +11,7 @@ use serde::{Deserialize, Serialize};
 /// ARMv8 multi-cores by the irregular-GEMM literature (LibShalom,
 /// AutoTSMM): near-peak on large regular shapes, single-digit-to-low-tens
 /// efficiency on small/irregular shapes.  See DESIGN.md §8.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CpuConfig {
     /// Number of cores (paper: 16).
     pub cores: usize,

@@ -89,6 +89,29 @@ pub struct ClusterFailure {
     pub at_seconds: f64,
 }
 
+/// A uniform slowdown of the host CPU fallback backend: every CPU
+/// dispatch is charged `factor ×` its model-predicted time (thermal
+/// throttling, co-tenant interference).  Interpreted by the CPU backend
+/// (`ftimm`'s `CpuBackend`), not by the DSP machine; it lives here so one
+/// seeded [`FaultPlan`] drives the whole heterogeneous degradation
+/// ladder and round-trips through the planfile codec.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CpuSlowdown {
+    /// Multiplier on the CPU cost model's predicted seconds (`>= 1.0` for
+    /// a slowdown; several slowdowns compound multiplicatively).
+    pub factor: f64,
+}
+
+/// A transient failure of the Nth span executed on the host CPU fallback
+/// backend (1-based).  The span's work is lost and the dispatch errors
+/// transiently; like [`CpuSlowdown`] it is interpreted by the CPU
+/// backend, not by the DSP machine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CpuFailure {
+    /// Which CPU span execution (1 = the first after installation) fails.
+    pub nth: u64,
+}
+
 /// A complete, serialisable fault-injection schedule.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FaultPlan {
@@ -102,6 +125,10 @@ pub struct FaultPlan {
     pub cores: Vec<CoreFailure>,
     /// Whole-cluster failures.
     pub clusters: Vec<ClusterFailure>,
+    /// CPU fallback-backend slowdowns.
+    pub cpu_slowdowns: Vec<CpuSlowdown>,
+    /// CPU fallback-backend transient span failures.
+    pub cpu_failures: Vec<CpuFailure>,
     /// Simulated watchdog timeout charged to a core whose transfer hangs.
     pub timeout_s: f64,
 }
@@ -121,6 +148,8 @@ impl FaultPlan {
             mem: Vec::new(),
             cores: Vec::new(),
             clusters: Vec::new(),
+            cpu_slowdowns: Vec::new(),
+            cpu_failures: Vec::new(),
             timeout_s: 1e-3,
         }
     }
@@ -131,11 +160,18 @@ impl FaultPlan {
             && self.mem.is_empty()
             && self.cores.is_empty()
             && self.clusters.is_empty()
+            && self.cpu_slowdowns.is_empty()
+            && self.cpu_failures.is_empty()
     }
 
     /// Total number of scheduled faults.
     pub fn len(&self) -> usize {
-        self.dma.len() + self.mem.len() + self.cores.len() + self.clusters.len()
+        self.dma.len()
+            + self.mem.len()
+            + self.cores.len()
+            + self.clusters.len()
+            + self.cpu_slowdowns.len()
+            + self.cpu_failures.len()
     }
 
     /// Schedule silent corruption of the Nth transfer over `path`.
@@ -179,6 +215,27 @@ impl FaultPlan {
     pub fn kill_cluster(mut self, at_s: f64) -> Self {
         self.clusters.push(ClusterFailure { at_seconds: at_s });
         self
+    }
+
+    /// Schedule a uniform slowdown of the CPU fallback backend: every CPU
+    /// dispatch is charged `factor ×` its predicted time (slowdowns
+    /// compound multiplicatively).
+    pub fn cpu_slowdown(mut self, factor: f64) -> Self {
+        self.cpu_slowdowns.push(CpuSlowdown { factor });
+        self
+    }
+
+    /// Schedule a transient failure of the Nth span executed on the CPU
+    /// fallback backend (1 = the first after installation).
+    pub fn fail_cpu(mut self, nth: u64) -> Self {
+        self.cpu_failures.push(CpuFailure { nth });
+        self
+    }
+
+    /// Compound slowdown factor over all scheduled [`CpuSlowdown`]s
+    /// (`1.0` when none are scheduled).
+    pub fn cpu_slowdown_factor(&self) -> f64 {
+        self.cpu_slowdowns.iter().map(|s| s.factor).product()
     }
 }
 
@@ -270,13 +327,28 @@ mod tests {
             .timeout_dma(DmaPath::GsmToAm, 1)
             .flip_bit(MemTarget::Am(2), 10)
             .kill_core(5, 1e-3)
-            .kill_cluster(2e-3);
-        assert_eq!(plan.len(), 5);
+            .kill_cluster(2e-3)
+            .cpu_slowdown(4.0)
+            .fail_cpu(2);
+        assert_eq!(plan.len(), 7);
         assert!(!plan.is_empty());
         assert_eq!(plan.seed, 7);
         assert_eq!(plan.dma[0].kind, DmaFaultKind::Corrupt);
         assert_eq!(plan.dma[1].kind, DmaFaultKind::Timeout);
         assert_eq!(plan.clusters[0].at_seconds, 2e-3);
+        assert_eq!(plan.cpu_slowdowns[0].factor, 4.0);
+        assert_eq!(plan.cpu_failures[0].nth, 2);
+    }
+
+    #[test]
+    fn cpu_faults_alone_make_plan_non_empty_and_compound() {
+        let plan = FaultPlan::new(9).cpu_slowdown(2.0).cpu_slowdown(3.0);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan.cpu_slowdown_factor(), 6.0);
+        let plan = FaultPlan::new(9).fail_cpu(1);
+        assert!(!plan.is_empty());
+        assert_eq!(FaultPlan::new(9).cpu_slowdown_factor(), 1.0);
     }
 
     #[test]
@@ -285,6 +357,7 @@ mod tests {
         assert!(!plan.is_empty());
         assert_eq!(plan.len(), 1);
         assert!(plan.dma.is_empty() && plan.mem.is_empty() && plan.cores.is_empty());
+        assert!(plan.cpu_slowdowns.is_empty() && plan.cpu_failures.is_empty());
     }
 
     #[test]

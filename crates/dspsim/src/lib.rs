@@ -38,7 +38,8 @@ pub use dma::{transfer_time, Dma2d, DmaPath, DmaTicket, WatchdogConfig};
 pub use error::{SimError, WatchdogUnit};
 pub use exec::{run_program, ExecReport, KernelBindings};
 pub use fault::{
-    ClusterFailure, CoreFailure, DmaFault, DmaFaultKind, FaultPlan, MemFault, MemTarget,
+    ClusterFailure, CoreFailure, CpuFailure, CpuSlowdown, DmaFault, DmaFaultKind, FaultPlan,
+    MemFault, MemTarget,
 };
 pub use machine::{Cluster, ExecMode, Machine, DDR_CAPACITY};
 pub use mem::MemRegion;
@@ -46,5 +47,5 @@ pub use profiler::{
     phase_of_path, EventKind, Phase, PhaseProfile, Profiler, SimEvent, Span,
     DEFAULT_PROFILE_CAPACITY, PHASE_COUNT, PROFILE_CORES,
 };
-pub use stats::{CoreStats, FaultStats, RunReport};
+pub use stats::{BackendKind, CoreStats, FaultStats, RunReport};
 pub use trace::{run_traced, ExecTrace};

@@ -655,6 +655,7 @@ impl Machine {
             useful_flops,
             totals,
             cores_used: cores.len(),
+            backend: crate::BackendKind::Dsp,
             faults: self.fault_stats(),
             profile: None,
         }

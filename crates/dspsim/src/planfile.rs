@@ -14,7 +14,7 @@
 //! assert_eq!(FaultPlan::from_json(&text).unwrap(), plan);
 //! ```
 
-use crate::fault::{ClusterFailure, CoreFailure, DmaFault, MemFault};
+use crate::fault::{ClusterFailure, CoreFailure, CpuFailure, CpuSlowdown, DmaFault, MemFault};
 use crate::minijson::{Parser, Value};
 use crate::{DmaFaultKind, DmaPath, FaultPlan, MemTarget};
 use std::fmt::Write as _;
@@ -122,6 +122,34 @@ impl FaultPlan {
             );
         }
         s.push_str(if self.clusters.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+        s.push_str("  \"cpu_slowdowns\": [");
+        for (i, f) in self.cpu_slowdowns.iter().enumerate() {
+            let _ = write!(
+                s,
+                "{}\n    {{ \"factor\": {:?} }}",
+                if i == 0 { "" } else { "," },
+                f.factor
+            );
+        }
+        s.push_str(if self.cpu_slowdowns.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+        s.push_str("  \"cpu_failures\": [");
+        for (i, f) in self.cpu_failures.iter().enumerate() {
+            let _ = write!(
+                s,
+                "{}\n    {{ \"nth\": {} }}",
+                if i == 0 { "" } else { "," },
+                f.nth
+            );
+        }
+        s.push_str(if self.cpu_failures.is_empty() {
             "]\n"
         } else {
             "\n  ]\n"
@@ -159,6 +187,16 @@ impl FaultPlan {
                 "clusters" => {
                     for item in v.as_arr("clusters")? {
                         plan.clusters.push(parse_cluster_failure(item)?);
+                    }
+                }
+                "cpu_slowdowns" => {
+                    for item in v.as_arr("cpu_slowdowns")? {
+                        plan.cpu_slowdowns.push(parse_cpu_slowdown(item)?);
+                    }
+                }
+                "cpu_failures" => {
+                    for item in v.as_arr("cpu_failures")? {
+                        plan.cpu_failures.push(parse_cpu_failure(item)?);
                     }
                 }
                 other => return Err(format!("unknown plan key {other:?}")),
@@ -255,6 +293,34 @@ fn parse_cluster_failure(v: &Value) -> Result<ClusterFailure, String> {
     })
 }
 
+fn parse_cpu_slowdown(v: &Value) -> Result<CpuSlowdown, String> {
+    let obj = v.as_obj("cpu slowdown")?;
+    let mut factor = None;
+    for (key, v) in obj {
+        match key.as_str() {
+            "factor" => factor = Some(v.as_f64("factor")?),
+            other => return Err(format!("unknown cpu slowdown key {other:?}")),
+        }
+    }
+    Ok(CpuSlowdown {
+        factor: factor.ok_or("cpu slowdown missing \"factor\"")?,
+    })
+}
+
+fn parse_cpu_failure(v: &Value) -> Result<CpuFailure, String> {
+    let obj = v.as_obj("cpu failure")?;
+    let mut nth = None;
+    for (key, v) in obj {
+        match key.as_str() {
+            "nth" => nth = Some(v.as_u64("nth")?),
+            other => return Err(format!("unknown cpu failure key {other:?}")),
+        }
+    }
+    Ok(CpuFailure {
+        nth: nth.ok_or("cpu failure missing \"nth\"")?,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -267,7 +333,9 @@ mod tests {
             .flip_bit(MemTarget::Sm(1), 4)
             .flip_bit(MemTarget::Am(6), 9)
             .kill_core(5, 1.25e-3)
-            .kill_cluster(3.5e-3);
+            .kill_cluster(3.5e-3)
+            .cpu_slowdown(2.5)
+            .fail_cpu(3);
         p.timeout_s = 2.5e-4;
         p
     }
@@ -319,6 +387,24 @@ mod tests {
     }
 
     #[test]
+    fn cpu_faults_round_trip() {
+        let plan = FaultPlan::new(13).cpu_slowdown(4.0).fail_cpu(1).fail_cpu(5);
+        let back = FaultPlan::from_json(&plan.to_json()).unwrap();
+        assert_eq!(back, plan);
+        assert_eq!(back.cpu_slowdowns[0].factor, 4.0);
+        assert_eq!(back.cpu_failures[1].nth, 5);
+
+        let hand = r#"{
+            "seed": 2,
+            "cpu_slowdowns": [ { "factor": 1.5 } ],
+            "cpu_failures": [ { "nth": 2 } ]
+        }"#;
+        let plan = FaultPlan::from_json(hand).unwrap();
+        assert_eq!(plan.cpu_slowdowns[0].factor, 1.5);
+        assert_eq!(plan.cpu_failures[0].nth, 2);
+    }
+
+    #[test]
     fn bad_fixtures_fail_loudly() {
         for (text, needle) in [
             ("{ \"sed\": 1 }", "unknown plan key"),
@@ -341,6 +427,11 @@ mod tests {
                 "unknown cluster failure key",
             ),
             ("{ \"clusters\": [ { } ] }", "missing \"at_seconds\""),
+            (
+                "{ \"cpu_slowdowns\": [ { \"nth\": 1 } ] }",
+                "unknown cpu slowdown key",
+            ),
+            ("{ \"cpu_failures\": [ { } ] }", "missing \"nth\""),
         ] {
             let err = FaultPlan::from_json(text).unwrap_err();
             assert!(err.contains(needle), "{text}: got {err:?}");

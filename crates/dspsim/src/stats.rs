@@ -85,6 +85,30 @@ impl FaultStats {
     }
 }
 
+/// Which execution backend produced a result: the simulated GPDSP
+/// cluster, or the host CPU fallback lane.  Carried as provenance in
+/// [`RunReport`] and every report derived from it, so heterogeneous
+/// failover is visible end to end.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BackendKind {
+    /// A simulated GPDSP cluster (the default — everything this crate
+    /// models runs here).
+    #[default]
+    Dsp,
+    /// The host CPU fallback backend (`ftimm`'s `CpuBackend`).
+    Cpu,
+}
+
+impl BackendKind {
+    /// Stable lower-case name (used by JSON exporters and log lines).
+    pub fn label(self) -> &'static str {
+        match self {
+            BackendKind::Dsp => "dsp",
+            BackendKind::Cpu => "cpu",
+        }
+    }
+}
+
 /// Result of one simulated GEMM (or kernel) run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RunReport {
@@ -96,6 +120,9 @@ pub struct RunReport {
     pub totals: CoreStats,
     /// Number of cores that participated.
     pub cores_used: usize,
+    /// Backend that executed the run (`Dsp` for everything the machine
+    /// itself reports; the CPU fallback lane overrides it).
+    pub backend: BackendKind,
     /// Fault-injection and recovery counters (all zero in fault-free runs).
     pub faults: FaultStats,
     /// Per-phase profile of the run; `None` unless the run was profiled
@@ -150,11 +177,20 @@ mod tests {
             useful_flops: 345_600_000,
             totals: CoreStats::default(),
             cores_used: 1,
+            backend: BackendKind::default(),
             faults: FaultStats::default(),
             profile: None,
         };
         assert!((r.gflops() - 345.6).abs() < 1e-9);
         assert!((r.efficiency(345.6e9) - 1.0).abs() < 1e-12);
+        assert_eq!(r.backend, BackendKind::Dsp);
+    }
+
+    #[test]
+    fn backend_labels_are_stable() {
+        assert_eq!(BackendKind::Dsp.label(), "dsp");
+        assert_eq!(BackendKind::Cpu.label(), "cpu");
+        assert_eq!(BackendKind::default(), BackendKind::Dsp);
     }
 
     #[test]
@@ -164,6 +200,7 @@ mod tests {
             useful_flops: 1,
             totals: CoreStats::default(),
             cores_used: 1,
+            backend: BackendKind::default(),
             faults: FaultStats::default(),
             profile: None,
         };

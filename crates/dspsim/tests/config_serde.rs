@@ -2,8 +2,8 @@
 //! (they are embedded in experiment records and bench metadata).
 
 use dspsim::{
-    CoreStats, Dma2d, DmaPath, ExecMode, FaultPlan, FaultStats, HwConfig, PhaseProfile, RunReport,
-    WatchdogConfig,
+    BackendKind, CoreStats, Dma2d, DmaPath, ExecMode, FaultPlan, FaultStats, HwConfig,
+    PhaseProfile, RunReport, WatchdogConfig,
 };
 
 /// Compile-time assertion that a type round-trips through serde.
@@ -17,6 +17,7 @@ fn public_value_types_implement_serde() {
     assert_serde::<Dma2d>();
     assert_serde::<DmaPath>();
     assert_serde::<ExecMode>();
+    assert_serde::<BackendKind>();
     assert_serde::<FaultPlan>();
     assert_serde::<FaultStats>();
     assert_serde::<PhaseProfile>();
@@ -45,6 +46,7 @@ fn core_stats_and_report_are_copyable_value_types() {
         useful_flops: 2,
         totals: a,
         cores_used: 8,
+        backend: BackendKind::Dsp,
         faults: FaultStats::default(),
         profile: None,
     };
