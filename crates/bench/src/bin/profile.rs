@@ -8,7 +8,7 @@
 //! Options:
 //! * `--strategy auto|rules|mpar|kpar|tgemm` (default `auto`)
 //! * `--cores N` (default 8)
-//! * `--mode interpret|fast|timing` (default `fast`)
+//! * `--mode interpret|fast|compiled|timing` (default `fast`)
 //! * `--out-profile FILE` — write the profile JSON document
 //! * `--out-trace FILE` — write a Chrome trace (`chrome://tracing`)
 //! * `--assert-roofline FRAC` — exit nonzero unless achieved GFLOPS
@@ -67,12 +67,9 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|_| die("--cores needs a number"))
             }
             "--mode" => {
-                args.mode = match next("--mode").as_str() {
-                    "interpret" => ExecMode::Interpret,
-                    "fast" => ExecMode::Fast,
-                    "timing" => ExecMode::Timing,
-                    other => die(&format!("unknown mode `{other}`")),
-                }
+                let tag = next("--mode");
+                args.mode = ExecMode::from_tag(&tag)
+                    .unwrap_or_else(|| die(&format!("unknown mode `{tag}`")))
             }
             "--out-profile" => args.out_profile = Some(next("--out-profile")),
             "--out-trace" => args.out_trace = Some(next("--out-trace")),
@@ -210,7 +207,7 @@ fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: profile [--strategy auto|rules|mpar|kpar|tgemm] [--cores N] \
-         [--mode interpret|fast|timing] [--out-profile FILE] [--out-trace FILE] \
+         [--mode interpret|fast|compiled|timing] [--out-profile FILE] [--out-trace FILE] \
          [--assert-roofline FRAC] M N K"
     );
     std::process::exit(2);

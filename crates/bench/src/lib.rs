@@ -18,6 +18,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod hetero;
+pub mod kernel_exec;
 pub mod planner;
 pub mod tables;
 pub mod workload_eval;

@@ -13,6 +13,10 @@
 //!   oracle within mixed tolerance;
 //! * [`OracleKind::ModeEquivalence`] — `Fast` vs `Interpret` bit-exact
 //!   (and simulated seconds equal);
+//! * [`OracleKind::CompiledEquivalence`] — the three-way host-tier
+//!   contract: `Compiled` vs `Fast` vs `Interpret` all bit-exact (and
+//!   simulated seconds equal), pinning the SIMD lowering to the
+//!   interpreter's exact accumulation order;
 //! * [`OracleKind::EntryEquivalence`] — every `Executor` entry point
 //!   (`run_plan`, `gemm`, `tgemm`, `run_plan_resilient`, `gemm_resilient`)
 //!   bit-exact for the same resolved plan;
@@ -66,6 +70,8 @@ pub enum OracleKind {
     Reference,
     /// `Fast` ≡ `Interpret`, bitwise.
     ModeEquivalence,
+    /// `Compiled` ≡ `Fast` ≡ `Interpret`, bitwise (three-way).
+    CompiledEquivalence,
     /// All executor entry points bitwise identical.
     EntryEquivalence,
     /// `C(2A, B) = 2 · C(A, B)`, bitwise.
@@ -87,9 +93,10 @@ pub enum OracleKind {
 
 impl OracleKind {
     /// All oracles, in round-robin scheduling order.
-    pub const ALL: [OracleKind; 10] = [
+    pub const ALL: [OracleKind; 11] = [
         OracleKind::Reference,
         OracleKind::ModeEquivalence,
+        OracleKind::CompiledEquivalence,
         OracleKind::EntryEquivalence,
         OracleKind::ScalarScale,
         OracleKind::TransposeDuality,
@@ -105,6 +112,7 @@ impl OracleKind {
         match self {
             OracleKind::Reference => "reference",
             OracleKind::ModeEquivalence => "mode-equivalence",
+            OracleKind::CompiledEquivalence => "compiled-equivalence",
             OracleKind::EntryEquivalence => "entry-equivalence",
             OracleKind::ScalarScale => "scalar-scale",
             OracleKind::TransposeDuality => "transpose-duality",
@@ -213,7 +221,7 @@ const INTERPRET_MAX_MNK: u64 = 48 * 96 * 48;
 /// Sample a shape whose `m·n·k` stays under [`INTERPRET_MAX_MNK`]
 /// *without* leaving its regime — halving a tall-skinny `m` would
 /// reclassify it as square and skew the coverage table.
-fn sample_for_interpret(regime: Regime, rng: &mut Rng64) -> GemmShape {
+pub fn sample_for_interpret(regime: Regime, rng: &mut Rng64) -> GemmShape {
     match regime {
         Regime::TallSkinny => {
             // m ≥ 256 and m ≥ 4k with the smallest admissible k keeps
@@ -262,12 +270,20 @@ pub fn generate_case(run_seed: u64, case_index: u64) -> CaseSpec {
     let regime = Regime::ALL[(case_index % 4) as usize];
     // The oracle index drifts by three every full regime rotation so no
     // oracle gets pinned to a small set of regimes.  The effective step
-    // per rotation is 4 + 3 = 7, coprime to the oracle count (10), so
-    // every (regime, oracle) pair is visited — a drift of one would make
-    // the step 5 and silently skip oracles 4 and 9 forever.
+    // per rotation is 4 + 3 = 7, coprime to the oracle count (11), so
+    // every (regime, oracle) pair is visited within lcm(4, 11)·regimes =
+    // 44 iterations — a drift of one would make the step 5 and pin each
+    // regime to a strict subset of oracles forever.  Any oracle added to
+    // [`OracleKind::ALL`] must keep its length coprime with 7 (guarded by
+    // `oracle_schedule_covers_every_oracle_regime_pairing`).
     let oracle = OracleKind::ALL
         [((case_index + 3 * (case_index / 4)) % OracleKind::ALL.len() as u64) as usize];
-    let shape = if oracle == OracleKind::ModeEquivalence {
+    // Oracles that run `Interpret` (directly or as one leg of an
+    // equivalence) get budget-capped shapes.
+    let shape = if matches!(
+        oracle,
+        OracleKind::ModeEquivalence | OracleKind::CompiledEquivalence
+    ) {
         sample_for_interpret(regime, &mut rng)
     } else {
         regime.sample(&mut rng)
@@ -536,6 +552,42 @@ pub fn check_case(ft: &FtImm, case: &CaseSpec) -> Result<(), Mismatch> {
                 return Err(mismatch(
                     case,
                     format!("simulated time diverges: fast {tf} vs interpret {ti}"),
+                ));
+            }
+            Ok(())
+        }
+        OracleKind::CompiledEquivalence => {
+            // Three-way host-tier contract: the SIMD lowering (`Compiled`),
+            // the scalar mirror (`Fast`) and the hazard-checking
+            // interpreter must agree bitwise and on the simulated clock.
+            let (cc, tc, _) = run_simple(
+                ft,
+                case,
+                ExecMode::Compiled,
+                case.strategy,
+                false,
+                None,
+                None,
+            )?;
+            let (cf, tf, _) =
+                run_simple(ft, case, ExecMode::Fast, case.strategy, false, None, None)?;
+            let (ci, ti, _) = run_simple(
+                ft,
+                case,
+                ExecMode::Interpret,
+                case.strategy,
+                false,
+                None,
+                None,
+            )?;
+            compare_bitwise(case, "compiled vs fast", &cc, &cf)?;
+            compare_bitwise(case, "compiled vs interpret", &cc, &ci)?;
+            if (tc - tf).abs() > 1e-15 || (tc - ti).abs() > 1e-15 {
+                return Err(mismatch(
+                    case,
+                    format!(
+                        "simulated time diverges: compiled {tc} vs fast {tf} vs interpret {ti}"
+                    ),
                 ));
             }
             Ok(())
@@ -970,7 +1022,7 @@ pub struct FuzzSummary {
     /// Cases executed per regime, indexed parallel to [`Regime::ALL`].
     pub regime_counts: [usize; 4],
     /// Cases executed per oracle, indexed parallel to [`OracleKind::ALL`].
-    pub oracle_counts: [usize; 10],
+    pub oracle_counts: [usize; 11],
     /// Shrunk mismatches, in discovery order.
     pub mismatches: Vec<Mismatch>,
 }
@@ -1104,7 +1156,9 @@ mod tests {
     #[test]
     fn oracle_schedule_covers_every_oracle_regime_pairing() {
         let mut pairs = std::collections::HashSet::new();
-        for i in 0..160 {
+        // Full coverage needs lcm(4 regimes, 11 oracles) = 44 iterations;
+        // run four cycles for slack against future growth of either axis.
+        for i in 0..176 {
             let c = generate_case(7, i);
             let o = OracleKind::ALL.iter().position(|&x| x == c.oracle).unwrap();
             pairs.insert((o, (i % 4) as usize));

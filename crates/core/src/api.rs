@@ -3,7 +3,7 @@
 use crate::plan::{Plan, PlanCache, PlanCacheStats, PlanKey, Planner, DEFAULT_PLAN_CACHE_CAPACITY};
 use crate::{resilience, ChosenStrategy, Executor, FtimmError, GemmProblem, GemmShape};
 use dspsim::{ExecMode, HwConfig, Machine, RunReport, SimError};
-use kernelgen::KernelCache;
+use kernelgen::{ExecutorCacheStats, KernelCache, KernelExecutor, DEFAULT_EXECUTOR_CACHE_CAPACITY};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -24,11 +24,14 @@ pub enum Strategy {
     TGemm,
 }
 
-/// The ftIMM library context: a kernel cache bound to a hardware
-/// configuration.
+/// The ftIMM library context: a kernel cache and its host-tier executor
+/// bound to a hardware configuration.
 pub struct FtImm {
     cfg: HwConfig,
-    cache: Arc<KernelCache>,
+    /// Host-side kernel execution service: owns the shared kernel cache
+    /// and the bounded memo of compiled (SIMD-lowered) kernels; every
+    /// host kernel invocation dispatches through it.
+    exec: Arc<KernelExecutor>,
     /// Memo of resolved plans: repeated shapes plan by lookup, without
     /// re-running the cost model or the timing simulations.
     plan_cache: PlanCache,
@@ -50,10 +53,25 @@ impl FtImm {
     /// Create a context with an explicit plan cache capacity (`0`
     /// disables plan memoisation — every call plans from scratch).
     pub fn with_plan_cache_capacity(cfg: HwConfig, capacity: usize) -> Self {
+        FtImm::with_cache_capacities(cfg, capacity, DEFAULT_EXECUTOR_CACHE_CAPACITY)
+    }
+
+    /// Create a context with explicit plan-cache and executor-cache
+    /// capacities (`0` disables the respective memo; a disabled executor
+    /// memo re-lowers the compiled tier on every invocation but stays
+    /// bit-identical).
+    pub fn with_cache_capacities(
+        cfg: HwConfig,
+        plan_capacity: usize,
+        executor_capacity: usize,
+    ) -> Self {
         FtImm {
-            cache: Arc::new(KernelCache::new(cfg.clone())),
+            exec: Arc::new(KernelExecutor::with_capacity(
+                Arc::new(KernelCache::new(cfg.clone())),
+                executor_capacity,
+            )),
             cfg,
-            plan_cache: PlanCache::new(capacity),
+            plan_cache: PlanCache::new(plan_capacity),
             timing_simulations: AtomicU64::new(0),
             planning_failures: AtomicU64::new(0),
         }
@@ -61,7 +79,18 @@ impl FtImm {
 
     /// The shared kernel cache.
     pub fn cache(&self) -> &KernelCache {
-        &self.cache
+        self.exec.kernels()
+    }
+
+    /// The host-tier kernel executor (dispatch point for `Fast` and
+    /// `Compiled` kernel invocations).
+    pub fn executor(&self) -> &KernelExecutor {
+        &self.exec
+    }
+
+    /// Hit/miss/eviction/compile counters of the compiled-kernel memo.
+    pub fn executor_stats(&self) -> ExecutorCacheStats {
+        self.exec.stats()
     }
 
     /// The hardware configuration.
@@ -96,7 +125,7 @@ impl FtImm {
         if let Some(plan) = self.plan_cache.get(&key) {
             return plan;
         }
-        let plan = Planner::new(&self.cache, &self.cfg).plan(shape, strategy, cores, |cand| {
+        let plan = Planner::new(self.cache(), &self.cfg).plan(shape, strategy, cores, |cand| {
             self.timing_simulations.fetch_add(1, Ordering::Relaxed);
             self.predict_seconds(shape, cand, cores)
         });

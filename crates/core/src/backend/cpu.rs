@@ -34,7 +34,7 @@ use crate::resilience::ckpt_spans;
 use crate::ChosenStrategy;
 use cpublas::CpuConfig;
 use dspsim::{FaultPlan, Phase, Profiler, Span};
-use kernelgen::KernelCache;
+use kernelgen::{HostTier, KernelExecutor};
 
 /// How a CPU-lane dispatch ended.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -82,6 +82,10 @@ pub struct CpuBackend {
     /// nths.
     spans_run: u64,
     slowdown: f64,
+    /// Host tier kernels run on.  Defaults to `Compiled` (the SIMD
+    /// lowering) — bit-identical to `Fast` by contract, so failover
+    /// output never depends on this choice.
+    tier: HostTier,
     armed_failures: Vec<u64>,
     dispatches: u64,
     breaker: CircuitBreaker,
@@ -99,6 +103,7 @@ impl CpuBackend {
             clock: 0.0,
             spans_run: 0,
             slowdown: 1.0,
+            tier: HostTier::Compiled,
             armed_failures: Vec::new(),
             dispatches: 0,
             breaker: CircuitBreaker::new(),
@@ -112,6 +117,18 @@ impl CpuBackend {
     pub fn with_dsp_cores(mut self, cores_per_cluster: usize) -> Self {
         self.dsp_cores_per_cluster = cores_per_cluster;
         self
+    }
+
+    /// Pick the host tier kernel invocations run on (`Compiled` by
+    /// default; `Fast` is the scalar reference mirror — bit-identical).
+    pub fn with_tier(mut self, tier: HostTier) -> Self {
+        self.tier = tier;
+        self
+    }
+
+    /// The host tier this backend dispatches kernels on.
+    pub fn tier(&self) -> HostTier {
+        self.tier
     }
 
     /// The CPU model config (also the analytic cost model's input).
@@ -176,7 +193,7 @@ impl CpuBackend {
     #[allow(clippy::too_many_arguments)]
     pub fn run_stripe(
         &mut self,
-        cache: &KernelCache,
+        ex: &KernelExecutor,
         strategy: &ChosenStrategy,
         cores: usize,
         a: &[f32],
@@ -238,7 +255,8 @@ impl CpuBackend {
             }
             if !c.is_empty() {
                 super::host::run_strategy_host(
-                    cache,
+                    ex,
+                    self.tier,
                     strategy,
                     cores,
                     self.dsp_cores_per_cluster,
@@ -295,7 +313,19 @@ mod tests {
         let mut be = CpuBackend::new(CpuConfig::default());
         let mut c = c0;
         let run = be
-            .run_stripe(ft.cache(), &strategy, 8, &a, &b, &mut c, n, k, m, 32, None)
+            .run_stripe(
+                ft.executor(),
+                &strategy,
+                8,
+                &a,
+                &b,
+                &mut c,
+                n,
+                k,
+                m,
+                32,
+                None,
+            )
             .unwrap();
         assert_eq!(run.outcome, CpuLaneOutcome::Done);
         assert_eq!(run.rows_verified, m);
@@ -316,7 +346,19 @@ mod tests {
 
         let mut c = c0.clone();
         let run = be
-            .run_stripe(ft.cache(), &strategy, 8, &a, &b, &mut c, n, k, m, 32, None)
+            .run_stripe(
+                ft.executor(),
+                &strategy,
+                8,
+                &a,
+                &b,
+                &mut c,
+                n,
+                k,
+                m,
+                32,
+                None,
+            )
             .unwrap();
         assert_eq!(run.outcome, CpuLaneOutcome::Fault { nth: 2 });
         // Span 1 (rows 0..32) survived; span 2 died before computing.
@@ -327,7 +369,19 @@ mod tests {
         // The fault tripped nothing yet (threshold is the engine's call),
         // but a later clean dispatch records success.
         let run2 = be
-            .run_stripe(ft.cache(), &strategy, 8, &a, &b, &mut c, n, k, m, 0, None)
+            .run_stripe(
+                ft.executor(),
+                &strategy,
+                8,
+                &a,
+                &b,
+                &mut c,
+                n,
+                k,
+                m,
+                0,
+                None,
+            )
             .unwrap();
         assert_eq!(run2.outcome, CpuLaneOutcome::Done);
         assert_eq!(be.dispatches(), 2);
@@ -345,7 +399,7 @@ mod tests {
         let mut c = c0;
         let run = be
             .run_stripe(
-                ft.cache(),
+                ft.executor(),
                 &strategy,
                 8,
                 &a,
@@ -371,8 +425,20 @@ mod tests {
         let mut be = CpuBackend::new(CpuConfig::default());
         be.enable_profiling(64);
         let mut c = c0;
-        be.run_stripe(ft.cache(), &strategy, 8, &a, &b, &mut c, n, k, m, 32, None)
-            .unwrap();
+        be.run_stripe(
+            ft.executor(),
+            &strategy,
+            8,
+            &a,
+            &b,
+            &mut c,
+            n,
+            k,
+            m,
+            32,
+            None,
+        )
+        .unwrap();
         let prof = be.take_profiler();
         let spans: Vec<_> = prof.spans().copied().collect();
         assert_eq!(spans.len(), 3);

@@ -11,7 +11,10 @@
 //! functions replay exactly that: the same loop nests as
 //! [`crate::mpar::run_mpar`], [`crate::kpar::run_kpar`] and
 //! [`crate::tgemm::run_tgemm`], invoking the *same* generated kernels
-//! from the shared [`KernelCache`] via `execute_fast`.
+//! from the shared kernel cache through the [`KernelExecutor`] dispatch
+//! point ([`panel_rows`] is the one shared inner loop).  Both host tiers
+//! qualify: `Fast` and `Compiled` are bit-identical by contract, so the
+//! spill lane may run the SIMD tier without perturbing failover bits.
 //!
 //! Two deliberate differences, both bit-neutral:
 //!
@@ -32,7 +35,7 @@
 //! DSP's compute-in-parallel-then-reduce-serially schedule.
 
 use crate::{ChosenStrategy, FtimmError, KparBlocks, MparBlocks, TgemmParams};
-use kernelgen::{KernelCache, KernelSpec};
+use kernelgen::{HostTier, KernelExecutor, KernelSpec};
 
 /// Stage a `rows × cols` block of `src` (leading dimension `src_ld`) at
 /// `(r0, c0)` into `dst` with leading dimension `ld >= cols`, zeroing
@@ -86,7 +89,8 @@ fn store_block(
 /// alive).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_strategy_host(
-    cache: &KernelCache,
+    ex: &KernelExecutor,
+    tier: HostTier,
     strategy: &ChosenStrategy,
     cores: usize,
     cores_per_cluster: usize,
@@ -100,9 +104,9 @@ pub(crate) fn run_strategy_host(
     debug_assert!(a.len() >= mm * kk && b.len() >= kk * nn && c.len() >= mm * nn);
     let cores = cores.clamp(1, cores_per_cluster);
     match strategy {
-        ChosenStrategy::MPar(bl) => mpar_host(cache, bl, a, b, c, mm, nn, kk),
-        ChosenStrategy::KPar(bl) => kpar_host(cache, bl, cores, a, b, c, mm, nn, kk),
-        ChosenStrategy::TGemm => tgemm_host(cache, a, b, c, mm, nn, kk),
+        ChosenStrategy::MPar(bl) => mpar_host(ex, tier, bl, a, b, c, mm, nn, kk),
+        ChosenStrategy::KPar(bl) => kpar_host(ex, tier, bl, cores, a, b, c, mm, nn, kk),
+        ChosenStrategy::TGemm => tgemm_host(ex, tier, a, b, c, mm, nn, kk),
     }
 }
 
@@ -110,12 +114,54 @@ fn pad(n: usize) -> usize {
     n.div_ceil(32) * 32
 }
 
+/// The inner panel loop shared by all three strategy mirrors: walk the
+/// `m_s`-row sub-blocks of one staged `(B, C)` panel pair, stage the
+/// matching `A` block, generate the exact-shape kernel (auto-tuned, or
+/// with `forced_ku` for TGEMM's fixed micro-kernel) and execute it
+/// through the [`KernelExecutor`] on the requested tier.
+///
+/// `rows` is the staged C panel's height, stepped by `m_s`; the A block
+/// for row offset `u` starts at `(a_r0 + u, a_c0)` of the full `a`
+/// matrix (leading dimension `kk`); `c_a`/`b_a` share leading dimension
+/// `ld`.
+#[allow(clippy::too_many_arguments)]
+fn panel_rows(
+    ex: &KernelExecutor,
+    tier: HostTier,
+    a: &[f32],
+    kk: usize,
+    a_s: &mut Vec<f32>,
+    b_a: &[f32],
+    c_a: &mut [f32],
+    ld: usize,
+    rows: usize,
+    m_s: usize,
+    k_cur: usize,
+    n_a: usize,
+    a_r0: usize,
+    a_c0: usize,
+    forced_ku: Option<usize>,
+) -> Result<(), FtimmError> {
+    for u in (0..rows).step_by(m_s) {
+        let ms_cur = m_s.min(rows - u);
+        let spec = KernelSpec::new(ms_cur, k_cur, n_a)?;
+        let kernel = match forced_ku {
+            None => ex.kernels().get(spec)?,
+            Some(k_u) => ex.kernels().get_forced(spec, ms_cur, k_u)?,
+        };
+        load_block(a_s, a, kk, a_r0 + u, a_c0, ms_cur, k_cur, k_cur);
+        ex.execute(tier, &kernel, a_s, b_a, &mut c_a[u * ld..(u + ms_cur) * ld])?;
+    }
+    Ok(())
+}
+
 /// Mirror of [`crate::mpar::run_mpar`]'s walk.  Chunk-to-core
 /// assignment is timing-only (chunks write disjoint C rows), so the
 /// chunks run in issue order.
 #[allow(clippy::too_many_arguments)]
 fn mpar_host(
-    cache: &KernelCache,
+    ex: &KernelExecutor,
+    tier: HostTier,
     bl: &MparBlocks,
     a: &[f32],
     b: &[f32],
@@ -140,16 +186,23 @@ fn mpar_host(
                     for jj in (0..k_gcur).step_by(bl.k_a) {
                         let k_acur = bl.k_a.min(k_gcur - jj);
                         load_block(&mut b_a, b, nn, j + jj, i + ii, k_acur, n_acur, ld_cur);
-                        for tt in (0..m_acur).step_by(bl.m_s) {
-                            let ms_cur = bl.m_s.min(m_acur - tt);
-                            let kernel = cache.get(KernelSpec::new(ms_cur, k_acur, n_acur)?)?;
-                            load_block(&mut a_s, a, kk, t + tt, j + jj, ms_cur, k_acur, k_acur);
-                            kernel.execute_fast(
-                                &a_s,
-                                &b_a,
-                                &mut c_a[tt * ld_cur..(tt + ms_cur) * ld_cur],
-                            );
-                        }
+                        panel_rows(
+                            ex,
+                            tier,
+                            a,
+                            kk,
+                            &mut a_s,
+                            &b_a,
+                            &mut c_a,
+                            ld_cur,
+                            m_acur,
+                            bl.m_s,
+                            k_acur,
+                            n_acur,
+                            t,
+                            j + jj,
+                            None,
+                        )?;
                     }
                     store_block(c, nn, t, i + ii, m_acur, n_acur, &c_a, ld_cur);
                 }
@@ -166,7 +219,8 @@ fn mpar_host(
 /// compute-then-reduce per core preserves the bits.
 #[allow(clippy::too_many_arguments)]
 fn kpar_host(
-    cache: &KernelCache,
+    ex: &KernelExecutor,
+    tier: HostTier,
     bl: &KparBlocks,
     cores: usize,
     a: &[f32],
@@ -196,16 +250,23 @@ fn kpar_host(
                         for &t in slices.iter().skip(ci).step_by(active) {
                             let k_acur = bl.k_a.min(kk - t);
                             load_block(&mut b_a, b, nn, t, j + jj, k_acur, n_acur, ld_cur);
-                            for u in (0..m_acur).step_by(bl.m_s) {
-                                let ms_cur = bl.m_s.min(m_acur - u);
-                                let kernel = cache.get(KernelSpec::new(ms_cur, k_acur, n_acur)?)?;
-                                load_block(&mut a_s, a, kk, i + ii + u, t, ms_cur, k_acur, k_acur);
-                                kernel.execute_fast(
-                                    &a_s,
-                                    &b_a,
-                                    &mut c_a[u * ld_cur..(u + ms_cur) * ld_cur],
-                                );
-                            }
+                            panel_rows(
+                                ex,
+                                tier,
+                                a,
+                                kk,
+                                &mut a_s,
+                                &b_a,
+                                &mut c_a,
+                                ld_cur,
+                                m_acur,
+                                bl.m_s,
+                                k_acur,
+                                n_acur,
+                                i + ii,
+                                t,
+                                None,
+                            )?;
                         }
                         // Serial reduction in core order: C_g += C_a.
                         for r in 0..m_acur {
@@ -225,8 +286,10 @@ fn kpar_host(
 /// Mirror of [`crate::tgemm::run_tgemm`]'s walk (fixed 96-wide kernel,
 /// `k_u = 1`, N-chunk parallelisation — timing-only, chunks write
 /// disjoint C columns).
+#[allow(clippy::too_many_arguments)]
 fn tgemm_host(
-    cache: &KernelCache,
+    ex: &KernelExecutor,
+    tier: HostTier,
     a: &[f32],
     b: &[f32],
     c: &mut [f32],
@@ -244,13 +307,23 @@ fn tgemm_host(
                 let n_cur = tp.n_a.min(nn - t);
                 load_block(&mut b_a, b, nn, j, t, k_cur, n_cur, tp.n_a);
                 load_block(&mut c_a, c, nn, i, t, m_cur, n_cur, tp.n_a);
-                for ii in (0..m_cur).step_by(tp.m_s) {
-                    let ms_cur = tp.m_s.min(m_cur - ii);
-                    let spec = KernelSpec::new(ms_cur, k_cur, tp.n_a)?;
-                    let kernel = cache.get_forced(spec, ms_cur.min(tp.m_s), 1)?;
-                    load_block(&mut a_s, a, kk, i + ii, j, ms_cur, k_cur, k_cur);
-                    kernel.execute_fast(&a_s, &b_a, &mut c_a[ii * tp.n_a..(ii + ms_cur) * tp.n_a]);
-                }
+                panel_rows(
+                    ex,
+                    tier,
+                    a,
+                    kk,
+                    &mut a_s,
+                    &b_a,
+                    &mut c_a,
+                    tp.n_a,
+                    m_cur,
+                    tp.m_s,
+                    k_cur,
+                    tp.n_a,
+                    i,
+                    j,
+                    Some(1),
+                )?;
                 store_block(c, nn, i, t, m_cur, n_cur, &c_a, tp.n_a);
             }
         }
@@ -282,31 +355,35 @@ mod tests {
         ft.run_plan(&mut m, &p, &plan, cores).unwrap();
         let want = p.c.download(&mut m).unwrap();
 
-        let mut c = c0;
-        run_strategy_host(
-            ft.cache(),
-            &plan,
-            cores,
-            HwConfig::default().cores_per_cluster,
-            &a,
-            &b,
-            &mut c,
-            mm,
-            nn,
-            kk,
-        )
-        .unwrap();
-        let mismatches = want
-            .iter()
-            .zip(&c)
-            .filter(|(w, g)| w.to_bits() != g.to_bits())
-            .count();
-        assert_eq!(
-            mismatches,
-            0,
-            "{strategy:?} {mm}x{nn}x{kk} on {cores} cores: {mismatches} of {} elements differ",
-            want.len()
-        );
+        for tier in [HostTier::Fast, HostTier::Compiled] {
+            let mut c = c0.clone();
+            run_strategy_host(
+                ft.executor(),
+                tier,
+                &plan,
+                cores,
+                HwConfig::default().cores_per_cluster,
+                &a,
+                &b,
+                &mut c,
+                mm,
+                nn,
+                kk,
+            )
+            .unwrap();
+            let mismatches = want
+                .iter()
+                .zip(&c)
+                .filter(|(w, g)| w.to_bits() != g.to_bits())
+                .count();
+            assert_eq!(
+                mismatches,
+                0,
+                "{strategy:?} ({tier:?}) {mm}x{nn}x{kk} on {cores} cores: \
+                 {mismatches} of {} elements differ",
+                want.len()
+            );
+        }
     }
 
     #[test]

@@ -850,7 +850,7 @@ impl ShardedEngine {
             (&[], &[], &mut [])
         };
         self.cpu.run_stripe(
-            ft.cache(),
+            ft.executor(),
             strategy,
             job.cores,
             a,

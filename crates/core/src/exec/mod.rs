@@ -280,8 +280,8 @@ pub(crate) fn run_resolved(
     cores: usize,
 ) -> Result<RunReport, FtimmError> {
     match plan {
-        ChosenStrategy::MPar(bl) => run_mpar(m, ft.cache(), p, bl, cores),
-        ChosenStrategy::KPar(bl) => run_kpar(m, ft.cache(), p, bl, cores),
-        ChosenStrategy::TGemm => run_tgemm(m, ft.cache(), p, &TgemmParams::default(), cores),
+        ChosenStrategy::MPar(bl) => run_mpar(m, ft.executor(), p, bl, cores),
+        ChosenStrategy::KPar(bl) => run_kpar(m, ft.executor(), p, bl, cores),
+        ChosenStrategy::TGemm => run_tgemm(m, ft.executor(), p, &TgemmParams::default(), cores),
     }
 }

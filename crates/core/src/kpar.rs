@@ -6,7 +6,7 @@
 
 use crate::{invoke_kernel, FtimmError, GemmProblem};
 use dspsim::{transfer_time, Dma2d, DmaPath, DmaTicket, KernelBindings, Machine, Phase, RunReport};
-use kernelgen::{KernelCache, KernelSpec};
+use kernelgen::{KernelExecutor, KernelSpec};
 use serde::{Deserialize, Serialize};
 
 /// Block sizes for the K-parallel strategy (§IV-C, Eq. 3–4).
@@ -29,7 +29,7 @@ pub struct KparBlocks {
 /// Run `C += A × B` with the K-dimension strategy on `cores` cores.
 pub fn run_kpar(
     m: &mut Machine,
-    cache: &KernelCache,
+    ex: &KernelExecutor,
     p: &GemmProblem,
     bl: &KparBlocks,
     cores: usize,
@@ -153,10 +153,11 @@ pub fn run_kpar(
                                     as_ticket = dma_as(m, row_blocks[ri + 1], (ri + 1) % 2)?;
                                 }
                                 let spec = KernelSpec::new(ms_cur, k_acur, n_acur)?;
-                                let kernel = cache.get(spec)?;
+                                let kernel = ex.kernels().get(spec)?;
                                 invoke_kernel(
                                     m,
                                     core,
+                                    ex,
                                     &kernel,
                                     KernelBindings {
                                         a_off: a_s_off[sping],

@@ -6,7 +6,7 @@
 
 use crate::{invoke_kernel, FtimmError, GemmProblem};
 use dspsim::{Dma2d, DmaPath, DmaTicket, KernelBindings, Machine, RunReport};
-use kernelgen::{KernelCache, KernelSpec};
+use kernelgen::{KernelExecutor, KernelSpec};
 use serde::{Deserialize, Serialize};
 
 /// Block sizes for the M-parallel strategy (§IV-C, Eq. 1–2).
@@ -29,7 +29,7 @@ pub struct MparBlocks {
 /// Run `C += A × B` with the M-dimension strategy on `cores` cores.
 pub fn run_mpar(
     m: &mut Machine,
-    cache: &KernelCache,
+    ex: &KernelExecutor,
     p: &GemmProblem,
     bl: &MparBlocks,
     cores: usize,
@@ -166,10 +166,11 @@ pub fn run_mpar(
                         }
                         // ftIMM: exact-shape auto-generated kernel.
                         let spec = KernelSpec::new(ms_cur, k_acur, n_acur)?;
-                        let kernel = cache.get(spec)?;
+                        let kernel = ex.kernels().get(spec)?;
                         invoke_kernel(
                             m,
                             core,
+                            ex,
                             &kernel,
                             KernelBindings {
                                 a_off: a_s_off[sping],

@@ -55,11 +55,17 @@ pub struct ResilienceConfig {
     /// First backoff stall in simulated seconds; doubles per attempt.
     pub backoff_base_s: f64,
     /// Relative ABFT tolerance: a checksum mismatch larger than
-    /// `abft_tol * (1 + |expected| + Σ|c_row|)` flags the row/column.
-    /// The default sits ~30× above the f32 rounding noise of the checked
-    /// row/column sums while staying below the smallest error a single
-    /// exponent-bit flip can cause; very deep problems (K ≫ 10⁴) may need
-    /// it loosened.
+    /// `abft_tol * (1 + |expected| + mass)` flags the row/column, where
+    /// `mass` is the absolute product mass of the checked sum
+    /// (`Σ|c0| + Σ|a|·|b|` over the row or column) captured from the
+    /// pre-run snapshots.  Normalising by mass — not by the final `|C|`
+    /// values — keeps heavily cancelled rows from tripping the check on
+    /// their own fault-free rounding noise, and a corrupted value cannot
+    /// inflate its own allowance.  The default sits well above the f32
+    /// rounding noise of the checked sums (measured ≲ 1e-7 of mass at
+    /// K ≈ 350) while staying below the error a single exponent-bit flip
+    /// in a mass-significant element causes; very deep problems
+    /// (K ≫ 10⁴) may need it loosened.
     pub abft_tol: f64,
     /// Checkpoint granularity in `C` rows.  `0` (the default) disables
     /// checkpointing: the whole problem is one span and a mid-run fault
@@ -90,6 +96,17 @@ struct AbftRef {
     expected_row: Vec<f64>,
     /// Expected final column sums.
     expected_col: Vec<f64>,
+    /// Absolute mass of each row sum: `Σ_j |c0[i][j]| + Σ_k
+    /// |a[i][k]|·rowsum(|B|)[k]` — the total magnitude that flows
+    /// through the row's accumulators.  Rounding error scales with this
+    /// mass, *not* with the final values: a heavily cancelled row can
+    /// finish near zero while its f32 accumulation carries the noise of
+    /// thousands of large products, so normalising the tolerance by the
+    /// final `|C|` sums (as an earlier revision did) false-positives on
+    /// fault-free runs.
+    row_mass: Vec<f64>,
+    /// Absolute mass of each column sum (same bound, transposed).
+    col_mass: Vec<f64>,
 }
 
 impl AbftRef {
@@ -98,45 +115,60 @@ impl AbftRef {
         let a = p.a.download(m).map_err(FtimmError::Sim)?;
         let b = p.b.download(m).map_err(FtimmError::Sim)?;
         let c0 = p.c.download(m).map_err(FtimmError::Sim)?;
-        // rowsum(B)[k] = Σ_j b[k][j];  colsum(A)[k] = Σ_i a[i][k].
+        // rowsum(B)[k] = Σ_j b[k][j];  colsum(A)[k] = Σ_i a[i][k] — and
+        // the same sums over |B| and |A| for the mass bounds.
         let mut b_rowsum = vec![0.0f64; kk];
+        let mut b_rowsum_abs = vec![0.0f64; kk];
         for k in 0..kk {
             for j in 0..nn {
                 b_rowsum[k] += b[k * nn + j] as f64;
+                b_rowsum_abs[k] += (b[k * nn + j] as f64).abs();
             }
         }
         let mut a_colsum = vec![0.0f64; kk];
+        let mut a_colsum_abs = vec![0.0f64; kk];
         for i in 0..mm {
             for k in 0..kk {
                 a_colsum[k] += a[i * kk + k] as f64;
+                a_colsum_abs[k] += (a[i * kk + k] as f64).abs();
             }
         }
         let mut expected_row = vec![0.0f64; mm];
+        let mut row_mass = vec![0.0f64; mm];
         for i in 0..mm {
-            let mut s = 0.0f64;
+            let (mut s, mut mass) = (0.0f64, 0.0f64);
             for j in 0..nn {
                 s += c0[i * nn + j] as f64;
+                mass += (c0[i * nn + j] as f64).abs();
             }
             for k in 0..kk {
                 s += a[i * kk + k] as f64 * b_rowsum[k];
+                mass += (a[i * kk + k] as f64).abs() * b_rowsum_abs[k];
             }
             expected_row[i] = s;
+            row_mass[i] = mass;
         }
         let mut expected_col = vec![0.0f64; nn];
+        let mut col_mass = vec![0.0f64; nn];
         for j in 0..nn {
-            let mut s = 0.0f64;
+            let (mut s, mut mass) = (0.0f64, 0.0f64);
             for i in 0..mm {
                 s += c0[i * nn + j] as f64;
+                mass += (c0[i * nn + j] as f64).abs();
             }
             for k in 0..kk {
                 s += a_colsum[k] * b[k * nn + j] as f64;
+                mass += a_colsum_abs[k] * (b[k * nn + j] as f64).abs();
             }
             expected_col[j] = s;
+            col_mass[j] = mass;
         }
         Ok(AbftRef {
             c0,
             expected_row,
             expected_col,
+            row_mass,
+            col_mass,
         })
     }
 
@@ -158,16 +190,14 @@ impl AbftRef {
                 .map_err(FtimmError::Sim)?;
         let mut bad_rows: Option<(usize, usize)> = None;
         for i in r0..r1 {
-            let (mut sum, mut mag) = (0.0f64, 0.0f64);
+            let mut sum = 0.0f64;
             for j in 0..nn {
-                let v = c[(i - r0) * nn + j] as f64;
-                sum += v;
-                mag += v.abs();
+                sum += c[(i - r0) * nn + j] as f64;
             }
             let e = self.expected_row[i];
             // A corrupted exponent can overflow f32 to inf/NaN, making the
             // sum non-finite; `>` alone would let that pass silently.
-            if !sum.is_finite() || (sum - e).abs() > tol * (1.0 + e.abs() + mag) {
+            if !sum.is_finite() || (sum - e).abs() > tol * (1.0 + e.abs() + self.row_mass[i]) {
                 bad_rows = Some(match bad_rows {
                     None => (i, i + 1),
                     Some((b0, _)) => (b0, i + 1),
@@ -193,14 +223,12 @@ impl AbftRef {
         }
         let c = p.c.download(m).map_err(FtimmError::Sim)?;
         for j in 0..nn {
-            let (mut sum, mut mag) = (0.0f64, 0.0f64);
+            let mut sum = 0.0f64;
             for i in 0..mm {
-                let v = c[i * nn + j] as f64;
-                sum += v;
-                mag += v.abs();
+                sum += c[i * nn + j] as f64;
             }
             let e = self.expected_col[j];
-            if !sum.is_finite() || (sum - e).abs() > tol * (1.0 + e.abs() + mag) {
+            if !sum.is_finite() || (sum - e).abs() > tol * (1.0 + e.abs() + self.col_mass[j]) {
                 return Ok(Some((0, mm)));
             }
         }
@@ -532,6 +560,35 @@ mod tests {
         for (a, b) in c_plain.iter().zip(&c_resil) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
+    }
+
+    #[test]
+    fn cancellation_heavy_fault_free_run_verifies_clean() {
+        // Regression for an ABFT false positive: at 1×18×351 with this
+        // fill seed one C column accumulates ~4.7e3 of absolute product
+        // mass down to a final value of ~7, so its fault-free f32
+        // rounding noise exceeded a tolerance normalised by the final
+        // |C| values.  The mass-normalised allowance must verify it
+        // clean on the first pass (also pinned as conformance fixture
+        // `shard-failover-tgemm-1x18x351-*`).
+        let ft = FtImm::new(HwConfig::default());
+        let mut m = Machine::with_mode(ExecMode::Fast);
+        let s = 8802051278782657661u64 as u32;
+        let p = GemmProblem::alloc(&mut m, 1, 18, 351).unwrap();
+        p.a.upload(&mut m, &reference::fill_matrix(351, s.wrapping_add(1)))
+            .unwrap();
+        p.b.upload(&mut m, &reference::fill_matrix(351 * 18, s.wrapping_add(2)))
+            .unwrap();
+        p.c.upload(&mut m, &reference::fill_matrix(18, s.wrapping_add(3)))
+            .unwrap();
+        let plan = ft.plan(&crate::GemmShape::new(1, 18, 351), Strategy::TGemm, 1);
+        let rcfg = ResilienceConfig {
+            ckpt_rows: 4,
+            ..ResilienceConfig::default()
+        };
+        let rep = run_resilient(&ft, &mut m, &p, &plan, 1, &rcfg).unwrap();
+        assert_eq!(rep.faults.retries, 0);
+        assert_eq!(rep.faults.rows_reexecuted, 0);
     }
 
     #[test]

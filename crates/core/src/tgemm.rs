@@ -7,7 +7,7 @@
 
 use crate::{invoke_kernel, FtimmError, GemmProblem};
 use dspsim::{Dma2d, DmaPath, DmaTicket, KernelBindings, Machine, RunReport};
-use kernelgen::{KernelCache, KernelSpec};
+use kernelgen::{KernelExecutor, KernelSpec};
 
 /// TGEMM's fixed blocking (Algorithm 1, line 1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,7 +36,7 @@ impl Default for TgemmParams {
 /// Run `C += A × B` with TGEMM on `cores` DSP cores.
 pub fn run_tgemm(
     m: &mut Machine,
-    cache: &KernelCache,
+    ex: &KernelExecutor,
     p: &GemmProblem,
     params: &TgemmParams,
     cores: usize,
@@ -161,10 +161,11 @@ pub fn run_tgemm(
                 }
                 // TGEMM's single micro-kernel: always n_a = 96 wide.
                 let spec = KernelSpec::new(ms_cur, k_cur, tp.n_a)?;
-                let kernel = cache.get_forced(spec, ms_cur.min(tp.m_s), 1)?;
+                let kernel = ex.kernels().get_forced(spec, ms_cur.min(tp.m_s), 1)?;
                 invoke_kernel(
                     m,
                     core,
+                    ex,
                     &kernel,
                     KernelBindings {
                         a_off: a_s_off[sping],

@@ -17,6 +17,10 @@ pub enum ExecMode {
     /// Move data and compute with host-native f32 math in the kernel's
     /// accumulation order (bit-equal to `Interpret`, fast).
     Fast,
+    /// Like `Fast`, but kernel invocations run through the compiled host
+    /// tier: the block plan lowered once to specialised SIMD loops
+    /// (bit-equal to `Interpret`, fastest).
+    Compiled,
     /// Only account cycles and bytes; no data is touched (for paper-scale
     /// sweeps).
     Timing,
@@ -26,6 +30,27 @@ impl ExecMode {
     /// Whether data is functionally moved/computed in this mode.
     pub fn is_functional(self) -> bool {
         !matches!(self, ExecMode::Timing)
+    }
+
+    /// Stable lowercase tag (CLI flags, reports).
+    pub fn tag(self) -> &'static str {
+        match self {
+            ExecMode::Interpret => "interpret",
+            ExecMode::Fast => "fast",
+            ExecMode::Compiled => "compiled",
+            ExecMode::Timing => "timing",
+        }
+    }
+
+    /// Parse a [`tag`](ExecMode::tag) back into a mode.
+    pub fn from_tag(tag: &str) -> Option<Self> {
+        match tag {
+            "interpret" => Some(ExecMode::Interpret),
+            "fast" => Some(ExecMode::Fast),
+            "compiled" => Some(ExecMode::Compiled),
+            "timing" => Some(ExecMode::Timing),
+            _ => None,
+        }
     }
 }
 

@@ -1,0 +1,195 @@
+//! The `Compiled` execution tier: lower a verified [`MicroKernel`] block
+//! plan into specialised host-SIMD block loops.
+//!
+//! Lowering is a *verification pass*, not a translation of trust: every
+//! structural invariant the SIMD loops rely on (supported `k_u`, exact
+//! depth split, contiguous row coverage) is re-checked here and reported
+//! as [`GenError::LoweringInvariant`] instead of being assumed. The
+//! resulting [`CompiledKernel`] executes through `hostsimd`, whose
+//! monomorphised AVX2+FMA loops preserve the interpreter's per-element
+//! fma accumulation order bit-for-bit (see the `hostsimd` crate docs for
+//! the argument); on hosts without AVX2+FMA it degrades to a scalar path
+//! with the same bits.
+
+use crate::{GenError, KernelSpec, MicroKernel};
+use hostsimd::BlockGeom;
+
+/// A micro-kernel lowered to specialised host block loops.
+///
+/// Obtained from [`CompiledKernel::lower`]; executed with
+/// [`CompiledKernel::execute`], whose panel layout contract is identical
+/// to `MicroKernel::execute_fast`.
+#[derive(Debug, Clone)]
+pub struct CompiledKernel {
+    spec: KernelSpec,
+    blocks: Vec<BlockGeom>,
+}
+
+impl CompiledKernel {
+    /// Lower a generated kernel's block plan, re-verifying the structural
+    /// invariants the SIMD loops depend on.
+    pub fn lower(kernel: &MicroKernel) -> Result<Self, GenError> {
+        let spec = kernel.spec;
+        spec.validate()?;
+        let fail = |detail: String| GenError::LoweringInvariant { detail };
+        if kernel.blocks.is_empty() {
+            return Err(fail(format!("{spec}: kernel has no block plan")));
+        }
+        let mut next_row = 0usize;
+        let mut blocks = Vec::with_capacity(kernel.blocks.len());
+        for plan in &kernel.blocks {
+            if !hostsimd::SUPPORTED_KU.contains(&plan.k_u) {
+                return Err(fail(format!(
+                    "{spec}: block at row {} has k_u = {} outside {:?}",
+                    plan.mm_base,
+                    plan.k_u,
+                    hostsimd::SUPPORTED_KU
+                )));
+            }
+            if plan.k_iters * plan.k_u + plan.k_tail != spec.k_a || plan.k_tail >= plan.k_u {
+                return Err(fail(format!(
+                    "{spec}: block at row {} splits depth as {}x{}+{}, want k_a = {}",
+                    plan.mm_base, plan.k_iters, plan.k_u, plan.k_tail, spec.k_a
+                )));
+            }
+            if plan.mm_base != next_row {
+                return Err(fail(format!(
+                    "{spec}: block starts at row {} but previous coverage ends at {next_row}",
+                    plan.mm_base
+                )));
+            }
+            if plan.m_u == 0 || plan.trips == 0 {
+                return Err(fail(format!(
+                    "{spec}: block at row {} is empty ({} trips x {} rows)",
+                    plan.mm_base, plan.trips, plan.m_u
+                )));
+            }
+            next_row = plan.mm_base + plan.trips as usize * plan.m_u;
+            blocks.push(BlockGeom {
+                mm_base: plan.mm_base,
+                m_u: plan.m_u,
+                trips: plan.trips as usize,
+                k_u: plan.k_u,
+                k_iters: plan.k_iters,
+                k_tail: plan.k_tail,
+            });
+        }
+        if next_row != spec.m_s {
+            return Err(fail(format!(
+                "{spec}: blocks cover rows 0..{next_row}, want 0..{}",
+                spec.m_s
+            )));
+        }
+        Ok(CompiledKernel { spec, blocks })
+    }
+
+    /// The shape this kernel computes.
+    pub fn spec(&self) -> &KernelSpec {
+        &self.spec
+    }
+
+    /// Compute `c += a × b` with the same panel layout contract as
+    /// `MicroKernel::execute_fast` (`a`: `m_s × k_a` row-major; `b`/`c`:
+    /// leading dimension [`KernelSpec::na_pad`]), bit-identical to it and
+    /// to the interpreter.
+    pub fn execute(&self, a: &[f32], b: &[f32], c: &mut [f32]) {
+        let k_a = self.spec.k_a;
+        let ld = self.spec.na_pad();
+        for g in &self.blocks {
+            hostsimd::execute_block(g, k_a, ld, a, b, c);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BlockPlan;
+    use dspsim::HwConfig;
+
+    fn fill(n: usize, seed: u32) -> Vec<f32> {
+        (0..n)
+            .map(|i| {
+                let x = (i as u32).wrapping_mul(2654435761).wrapping_add(seed);
+                let m = (x % 1000) as f32 - 500.0;
+                let e = [1e-3f32, 1.0, 1e3][(x >> 10) as usize % 3];
+                m * e
+            })
+            .collect()
+    }
+
+    #[test]
+    fn compiled_matches_fast_bitwise_across_tilings() {
+        let cfg = HwConfig::default();
+        for &(m_s, k_a, n_a) in &[
+            (6usize, 37usize, 96usize),
+            (7, 128, 64),
+            (1, 5, 32),
+            (13, 200, 80),
+        ] {
+            let spec = KernelSpec::new(m_s, k_a, n_a).unwrap();
+            let kernel = MicroKernel::generate(spec, &cfg).unwrap();
+            let compiled = CompiledKernel::lower(&kernel).unwrap();
+            let ld = spec.na_pad();
+            let a = fill(m_s * k_a, 1);
+            let b = fill(k_a * ld, 2);
+            let c0 = fill(m_s * ld, 3);
+            let mut c_fast = c0.clone();
+            let mut c_comp = c0;
+            kernel.execute_fast(&a, &b, &mut c_fast);
+            compiled.execute(&a, &b, &mut c_comp);
+            for (i, (x, y)) in c_fast.iter().zip(&c_comp).enumerate() {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "{spec} elem {i}: fast {x} vs compiled {y}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lowering_rejects_bad_depth_split() {
+        let cfg = HwConfig::default();
+        let spec = KernelSpec::new(4, 16, 32).unwrap();
+        let mut kernel = MicroKernel::generate(spec, &cfg).unwrap();
+        kernel.blocks[0].k_iters += 1;
+        assert!(matches!(
+            CompiledKernel::lower(&kernel),
+            Err(GenError::LoweringInvariant { .. })
+        ));
+    }
+
+    #[test]
+    fn lowering_rejects_row_coverage_gaps() {
+        let cfg = HwConfig::default();
+        let spec = KernelSpec::new(8, 16, 32).unwrap();
+        let mut kernel = MicroKernel::generate_forced(spec, 4, 2, &cfg).unwrap();
+        assert_eq!(kernel.blocks.len(), 1);
+        let plan = kernel.blocks[0];
+        kernel.blocks = vec![BlockPlan {
+            trips: plan.trips - 1,
+            ..plan
+        }];
+        assert!(matches!(
+            CompiledKernel::lower(&kernel),
+            Err(GenError::LoweringInvariant { .. })
+        ));
+    }
+
+    #[test]
+    fn lowering_rejects_unsupported_ku() {
+        let cfg = HwConfig::default();
+        let spec = KernelSpec::new(4, 16, 32).unwrap();
+        let mut kernel = MicroKernel::generate(spec, &cfg).unwrap();
+        for b in &mut kernel.blocks {
+            b.k_u = 3;
+            b.k_iters = 5;
+            b.k_tail = 1;
+        }
+        assert!(matches!(
+            CompiledKernel::lower(&kernel),
+            Err(GenError::LoweringInvariant { .. })
+        ));
+    }
+}

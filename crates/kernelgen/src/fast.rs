@@ -7,6 +7,14 @@
 
 use crate::MicroKernel;
 
+/// Upper bound on the depth unroll `k_u`, i.e. on live accumulators per
+/// C element. Invariant: the tiling space ([`crate::tiling::candidates`])
+/// and `MicroKernel::generate_forced` only ever produce `k_u ∈ {1, 2, 4}`
+/// — a future tiling change that widens this must grow the accumulator
+/// array below (and the monomorphised `Compiled` tier) with it, or lanes
+/// would silently alias.
+pub const MAX_KU: usize = 4;
+
 impl MicroKernel {
     /// Compute `c += a × b` on dense panels laid out exactly as the
     /// kernel's scratchpad buffers:
@@ -23,6 +31,11 @@ impl MicroKernel {
         debug_assert!(b.len() >= k_a * ld);
         debug_assert!(c.len() >= self.spec.m_s * ld);
         for plan in &self.blocks {
+            debug_assert!(
+                plan.k_u <= MAX_KU,
+                "k_u = {} exceeds MAX_KU = {MAX_KU}; widen the accumulator array",
+                plan.k_u
+            );
             for trip in 0..plan.trips as usize {
                 for mu in 0..plan.m_u {
                     let row = plan.mm_base + trip * plan.m_u + mu;
@@ -30,7 +43,7 @@ impl MicroKernel {
                     let c_row = &mut c[row * ld..row * ld + ld];
                     for col in 0..ld {
                         // acc[0] starts from C; acc[ku>0] start at zero.
-                        let mut acc = [0.0f32; 4];
+                        let mut acc = [0.0f32; MAX_KU];
                         acc[0] = c_row[col];
                         for j in 0..plan.k_iters {
                             for ku in 0..plan.k_u {

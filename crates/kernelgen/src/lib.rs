@@ -17,8 +17,10 @@
 //! 4. keeps the candidate with the fewest total cycles.
 //!
 //! Generated kernels are *executed* by `dspsim`'s interpreter (bit-exact,
-//! hazard-checked) or by the order-mirroring host executor ([`fast`]);
-//! their cycle count doubles as the analytic timing model.
+//! hazard-checked) or by one of two order-mirroring host tiers behind the
+//! [`KernelExecutor`] dispatch point: the generic scalar mirror
+//! ([`fast`]) or the specialised SIMD lowering ([`compiled`]); their
+//! cycle count doubles as the analytic timing model.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,6 +28,8 @@
 pub mod analysis;
 pub mod build;
 pub mod cache;
+pub mod compiled;
+pub mod exec;
 pub mod fast;
 pub mod linesched;
 pub mod modsched;
@@ -36,6 +40,9 @@ pub mod tiling;
 pub use analysis::{verify_occupancy, KernelReport, OccupancyViolation};
 pub use build::{build, BlockPlan, MicroKernel};
 pub use cache::KernelCache;
+pub use compiled::CompiledKernel;
+pub use exec::{ExecutorCacheStats, HostTier, KernelExecutor, DEFAULT_EXECUTOR_CACHE_CAPACITY};
+pub use hostsimd::{simd_active, simd_level};
 pub use linesched::LineScheduler;
 pub use regmap::RegMap;
 pub use spec::{GenError, KernelLayout, KernelSpec, MAX_NA};

@@ -115,6 +115,12 @@ pub enum GenError {
         /// Explanation.
         detail: String,
     },
+    /// A verified kernel's block plan violated a structural invariant
+    /// while being lowered to the `Compiled` host tier.
+    LoweringInvariant {
+        /// Explanation.
+        detail: String,
+    },
     /// ISA-level failure while emitting code.
     Isa(ftimm_isa::IsaError),
 }
@@ -129,6 +135,9 @@ impl fmt::Display for GenError {
             }
             GenError::BadForcedTiling { detail } => write!(f, "forced tiling invalid: {detail}"),
             GenError::ScheduleOverflow { detail } => write!(f, "scheduler overflow: {detail}"),
+            GenError::LoweringInvariant { detail } => {
+                write!(f, "compiled-tier lowering invariant violated: {detail}")
+            }
             GenError::Isa(e) => write!(f, "isa error: {e}"),
         }
     }
