@@ -1,0 +1,91 @@
+//! Tuner report: default vs tuned plans on the paper's representative
+//! shapes, per-regime calibration agreement, and the catalog warm-start
+//! proof.
+//!
+//! Usage:
+//! `cargo run --release -p bench --bin tune -- [options]`
+//!
+//! Options:
+//! * `--out FILE` — write the `BENCH_tune.json` document
+//! * `--catalog FILE` — where to persist the `ftimm-plan-catalog-v1`
+//!   (default `ftimm-plan-catalog.json` in the working directory)
+//! * `--assert-no-regression` — exit nonzero if any tuned plan is
+//!   predicted slower than the analytic default (CI gate)
+//! * `--assert-warm-zero-sims` — exit nonzero unless the catalog
+//!   warm-start context re-planned every shape with zero timing
+//!   simulations (CI gate)
+
+use std::path::PathBuf;
+
+fn main() {
+    let mut out: Option<String> = None;
+    let mut catalog = PathBuf::from("ftimm-plan-catalog.json");
+    let mut assert_no_regression = false;
+    let mut assert_warm_zero_sims = false;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => {
+                out = Some(
+                    it.next()
+                        .cloned()
+                        .unwrap_or_else(|| die("--out needs a path")),
+                )
+            }
+            "--catalog" => {
+                catalog = PathBuf::from(
+                    it.next()
+                        .cloned()
+                        .unwrap_or_else(|| die("--catalog needs a path")),
+                )
+            }
+            "--assert-no-regression" => assert_no_regression = true,
+            "--assert-warm-zero-sims" => assert_warm_zero_sims = true,
+            other => die(&format!("unrecognised argument `{other}`")),
+        }
+    }
+
+    let report = bench::tune::compute(&catalog);
+    print!("{}", bench::tune::render(&report));
+    println!("catalog written to {}", catalog.display());
+
+    if let Some(path) = &out {
+        std::fs::write(path, bench::tune::render_json(&report))
+            .unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
+        println!("report written to {path}");
+    }
+
+    if assert_no_regression {
+        let worst = report.max_regression_s();
+        if worst > 0.0 {
+            eprintln!(
+                "no-regression check FAILED: a tuned plan is {worst:.3e}s slower than its default"
+            );
+            std::process::exit(1);
+        }
+        println!("no-regression check OK: worst tuned-vs-default delta {worst:.3e}s");
+    }
+
+    if assert_warm_zero_sims {
+        if report.warm_simulations != 0 {
+            eprintln!(
+                "warm-zero-sims check FAILED: warm start ran {} timing simulations",
+                report.warm_simulations
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "warm-zero-sims check OK: {} catalog hits, 0 simulations",
+            report.warm_catalog_hits
+        );
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: tune [--out FILE] [--catalog FILE] [--assert-no-regression] [--assert-warm-zero-sims]"
+    );
+    std::process::exit(2);
+}

@@ -21,6 +21,7 @@ pub mod hetero;
 pub mod kernel_exec;
 pub mod planner;
 pub mod tables;
+pub mod tune;
 pub mod workload_eval;
 
 pub use common::Harness;

@@ -46,6 +46,13 @@
 //!   ([`ftimm::CpuBackend`] mirrors the exact DSP blocking walk) and
 //!   stay bitwise identical to the same checkpointed oracle — across
 //!   devices, not just clusters.
+//! * [`OracleKind::TunedPlanEquivalence`] — the autotuner contract:
+//!   tuning is deterministic under a fixed seed, a tuned plan survives
+//!   the `ftimm-plan-catalog-v1` round-trip bit-for-bit, executing it is
+//!   bitwise identical to executing the default `Auto` plan (the tuner
+//!   only adopts [`ftimm::BitSignature`]-equal variants), and a fresh
+//!   context warm-started from the catalog serves the plan with zero
+//!   timing simulations.
 //!
 //! Every case additionally runs the [`crate::verifier`] lint pass over
 //! each micro-kernel its plan pulls from the cache.
@@ -89,11 +96,15 @@ pub enum OracleKind {
     /// Cross-backend spill (DSP dies, CPU lane resumes) ≡ single-cluster,
     /// bitwise.
     CpuFailover,
+    /// Tuning is deterministic, catalog round-trip preserves plan bits,
+    /// tuned-plan execution ≡ default-plan execution (bitwise), and a
+    /// catalog warm start plans with zero simulations.
+    TunedPlanEquivalence,
 }
 
 impl OracleKind {
     /// All oracles, in round-robin scheduling order.
-    pub const ALL: [OracleKind; 11] = [
+    pub const ALL: [OracleKind; 12] = [
         OracleKind::Reference,
         OracleKind::ModeEquivalence,
         OracleKind::CompiledEquivalence,
@@ -105,6 +116,7 @@ impl OracleKind {
         OracleKind::PlanConsistency,
         OracleKind::ShardFailover,
         OracleKind::CpuFailover,
+        OracleKind::TunedPlanEquivalence,
     ];
 
     /// Stable tag used in fixtures.
@@ -121,6 +133,7 @@ impl OracleKind {
             OracleKind::PlanConsistency => "plan-consistency",
             OracleKind::ShardFailover => "shard-failover",
             OracleKind::CpuFailover => "cpu-failover",
+            OracleKind::TunedPlanEquivalence => "tuned-plan-equivalence",
         }
     }
 
@@ -270,12 +283,12 @@ pub fn generate_case(run_seed: u64, case_index: u64) -> CaseSpec {
     let regime = Regime::ALL[(case_index % 4) as usize];
     // The oracle index drifts by three every full regime rotation so no
     // oracle gets pinned to a small set of regimes.  The effective step
-    // per rotation is 4 + 3 = 7, coprime to the oracle count (11), so
-    // every (regime, oracle) pair is visited within lcm(4, 11)·regimes =
-    // 44 iterations — a drift of one would make the step 5 and pin each
-    // regime to a strict subset of oracles forever.  Any oracle added to
-    // [`OracleKind::ALL`] must keep its length coprime with 7 (guarded by
-    // `oracle_schedule_covers_every_oracle_regime_pairing`).
+    // per rotation is 4 + 3 = 7, coprime to the oracle count (12), so
+    // every (regime, oracle) pair is visited within 12 regime rotations
+    // = 48 iterations — a drift of one would make the step 5 and
+    // pin each regime to a strict subset of oracles forever.  Any oracle
+    // added to [`OracleKind::ALL`] must keep its length coprime with 7
+    // (guarded by `oracle_schedule_covers_every_oracle_regime_pairing`).
     let oracle = OracleKind::ALL
         [((case_index + 3 * (case_index / 4)) % OracleKind::ALL.len() as u64) as usize];
     // Oracles that run `Interpret` (directly or as one leg of an
@@ -1009,6 +1022,99 @@ pub fn check_case(ft: &FtImm, case: &CaseSpec) -> Result<(), Mismatch> {
                 )),
             }
         }
+        OracleKind::TunedPlanEquivalence => {
+            // Fresh contexts per leg so tuning state cannot leak between
+            // them (the ambient `ft` stays untouched except to execute).
+            let tcfg = ftimm::TuneConfig {
+                seed: case.seed,
+                ..ftimm::TuneConfig::default()
+            };
+
+            // Determinism: the same seed on two fresh contexts must tune
+            // to the identical plan with identical records.
+            let ft1 = FtImm::new(ft.cfg().clone());
+            let o1 = ft1.tune(&case.shape, case.cores, &tcfg);
+            let ft2 = FtImm::new(ft.cfg().clone());
+            let o2 = ft2.tune(&case.shape, case.cores, &tcfg);
+            if o1.plan != o2.plan {
+                return Err(mismatch(
+                    case,
+                    format!("tuning not deterministic: {:?} vs {:?}", o1.plan, o2.plan),
+                ));
+            }
+            if o1.plan.simulated_s > o1.default_plan.simulated_s {
+                return Err(mismatch(
+                    case,
+                    format!(
+                        "tuned plan predicted slower than the default: {} vs {}",
+                        o1.plan.simulated_s, o1.default_plan.simulated_s
+                    ),
+                ));
+            }
+
+            // Catalog round-trip preserves plan bits, and a fresh
+            // context warm-started from it plans with zero simulations.
+            let path = std::env::temp_dir().join(format!(
+                "ftimm-fuzz-catalog-{}-{}.json",
+                std::process::id(),
+                case.seed
+            ));
+            ft1.save_plan_catalog(&path)
+                .map_err(|e| mismatch(case, format!("catalog save failed: {e}")))?;
+            let warm = FtImm::with_plan_catalog(ft.cfg().clone(), &path)
+                .map_err(|e| mismatch(case, format!("catalog load failed: {e}")));
+            std::fs::remove_file(&path).ok();
+            let warm = warm?;
+            let replayed = warm.plan_full(&case.shape, Strategy::Auto, case.cores);
+            if replayed != o1.plan {
+                return Err(mismatch(
+                    case,
+                    format!(
+                        "catalog round-trip changed the plan: {replayed:?} vs {:?}",
+                        o1.plan
+                    ),
+                ));
+            }
+            if warm.timing_simulations() != 0 {
+                return Err(mismatch(
+                    case,
+                    format!(
+                        "catalog warm start ran {} timing simulations",
+                        warm.timing_simulations()
+                    ),
+                ));
+            }
+
+            // Executing the tuned plan is bitwise identical to executing
+            // the default plan — the signature gate's whole contract.
+            let mut m1 = Machine::with_mode(ExecMode::Fast);
+            let staged1 = stage(&mut m1, &case.shape, case.seed, false)
+                .map_err(|e| mismatch(case, format!("staging failed: {e}")))?;
+            ft.run_plan(&mut m1, &staged1.problem, &o1.plan.strategy, case.cores)
+                .map_err(|e| mismatch(case, format!("tuned run failed: {e}")))?;
+            let c1 = staged1
+                .problem
+                .c
+                .download(&mut m1)
+                .map_err(|e| mismatch(case, format!("download failed: {e}")))?;
+
+            let mut m2 = Machine::with_mode(ExecMode::Fast);
+            let staged2 = stage(&mut m2, &case.shape, case.seed, false)
+                .map_err(|e| mismatch(case, format!("staging failed: {e}")))?;
+            ft.run_plan(
+                &mut m2,
+                &staged2.problem,
+                &o1.default_plan.strategy,
+                case.cores,
+            )
+            .map_err(|e| mismatch(case, format!("default run failed: {e}")))?;
+            let c2 = staged2
+                .problem
+                .c
+                .download(&mut m2)
+                .map_err(|e| mismatch(case, format!("download failed: {e}")))?;
+            compare_bitwise(case, "tuned plan vs default plan", &c1, &c2)
+        }
     }
 }
 
@@ -1022,7 +1128,7 @@ pub struct FuzzSummary {
     /// Cases executed per regime, indexed parallel to [`Regime::ALL`].
     pub regime_counts: [usize; 4],
     /// Cases executed per oracle, indexed parallel to [`OracleKind::ALL`].
-    pub oracle_counts: [usize; 11],
+    pub oracle_counts: [usize; 12],
     /// Shrunk mismatches, in discovery order.
     pub mismatches: Vec<Mismatch>,
 }
@@ -1156,9 +1262,10 @@ mod tests {
     #[test]
     fn oracle_schedule_covers_every_oracle_regime_pairing() {
         let mut pairs = std::collections::HashSet::new();
-        // Full coverage needs lcm(4 regimes, 11 oracles) = 44 iterations;
-        // run four cycles for slack against future growth of either axis.
-        for i in 0..176 {
+        // Full coverage needs 12 regime rotations (48 iterations) for the
+        // 12 oracles; run four cycles for slack against future growth of
+        // either axis.
+        for i in 0..192 {
             let c = generate_case(7, i);
             let o = OracleKind::ALL.iter().position(|&x| x == c.oracle).unwrap();
             pairs.insert((o, (i % 4) as usize));
@@ -1167,6 +1274,20 @@ mod tests {
             pairs.len(),
             OracleKind::ALL.len() * 4,
             "schedule must visit every (oracle, regime) pair"
+        );
+        assert_eq!(OracleKind::ALL.len() * 4, 48);
+        // The drift formula only mixes when the effective step (7) stays
+        // coprime to the oracle count — guard the invariant explicitly.
+        let gcd = |mut a: usize, mut b: usize| {
+            while b != 0 {
+                (a, b) = (b, a % b);
+            }
+            a
+        };
+        assert_eq!(
+            gcd(7, OracleKind::ALL.len()),
+            1,
+            "OracleKind::ALL length must stay coprime with the rotation step"
         );
     }
 

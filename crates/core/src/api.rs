@@ -1,11 +1,14 @@
 //! The public ftIMM entry point.
 
+use crate::plan::store::{self, CatalogLoad, PlanCatalog};
+use crate::plan::tune::{Calibration, CalibrationRecord, TuneConfig, TuneOutcome, Tuner};
 use crate::plan::{Plan, PlanCache, PlanCacheStats, PlanKey, Planner, DEFAULT_PLAN_CACHE_CAPACITY};
 use crate::{resilience, ChosenStrategy, Executor, FtimmError, GemmProblem, GemmShape};
-use dspsim::{ExecMode, HwConfig, Machine, RunReport, SimError};
+use dspsim::{ExecMode, HwConfig, Machine, Phase, RunReport, SimError};
 use kernelgen::{ExecutorCacheStats, KernelCache, KernelExecutor, DEFAULT_EXECUTOR_CACHE_CAPACITY};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Strategy requested by the caller.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,6 +25,78 @@ pub enum Strategy {
     KPar,
     /// Force the traditional baseline (TGEMM).
     TGemm,
+}
+
+impl Strategy {
+    /// Every requestable strategy, in tag order.
+    pub const ALL: [Strategy; 5] = [
+        Strategy::Auto,
+        Strategy::Rules,
+        Strategy::MPar,
+        Strategy::KPar,
+        Strategy::TGemm,
+    ];
+
+    /// Stable lower-case tag used by the plan-catalog codec.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Strategy::Auto => "auto",
+            Strategy::Rules => "rules",
+            Strategy::MPar => "mpar",
+            Strategy::KPar => "kpar",
+            Strategy::TGemm => "tgemm",
+        }
+    }
+
+    /// Parse a [`Strategy::tag`] back.
+    pub fn from_tag(s: &str) -> Result<Strategy, String> {
+        Strategy::ALL
+            .into_iter()
+            .find(|x| x.tag() == s)
+            .ok_or_else(|| format!("unknown strategy {s:?}"))
+    }
+}
+
+/// Snapshot of a context's tuning and catalog counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TuningStats {
+    /// [`FtImm::tune`] invocations over this context's lifetime.
+    pub plans_tuned: u64,
+    /// Tunes that adopted a bit-safe variant over the default pick.
+    pub variants_adopted: u64,
+    /// Calibration records held (tuner-observed plus catalog-loaded).
+    pub calibration_records: u64,
+    /// Whether a plan catalog has been loaded into this context.
+    pub catalog_attached: bool,
+    /// Plan-cache hits served by a catalog-preloaded entry.
+    pub catalog_hits: u64,
+    /// Plan-cache misses while a catalog was attached (shapes the
+    /// catalog did not cover).
+    pub catalog_misses: u64,
+    /// Corrupt catalog entries/records quarantined during loads.
+    pub quarantined: u64,
+}
+
+/// Tuning state carried by a context: calibration records, tuned plans
+/// pending catalog persistence, and catalog bookkeeping.
+#[derive(Debug, Default)]
+struct TuningState {
+    records: Mutex<Vec<CalibrationRecord>>,
+    tuned: Mutex<Vec<(PlanKey, Plan)>>,
+    catalog_keys: Mutex<Vec<PlanKey>>,
+    catalog_attached: AtomicBool,
+    catalog_hits: AtomicU64,
+    catalog_misses: AtomicU64,
+    plans_tuned: AtomicU64,
+    variants_adopted: AtomicU64,
+    quarantined: AtomicU64,
+}
+
+fn upsert_plan(entries: &mut Vec<(PlanKey, Plan)>, key: PlanKey, plan: Plan) {
+    match entries.iter_mut().find(|(k, _)| *k == key) {
+        Some(slot) => slot.1 = plan,
+        None => entries.push((key, plan)),
+    }
 }
 
 /// The ftIMM library context: a kernel cache and its host-tier executor
@@ -41,6 +116,9 @@ pub struct FtImm {
     /// Shapes the planner failed to evaluate (capacity or generation
     /// limits): each counted evaluation returned `f64::INFINITY`.
     planning_failures: AtomicU64,
+    /// Autotuner state: calibration records, tuned plans and catalog
+    /// counters (see [`FtImm::tune`] / [`FtImm::with_plan_catalog`]).
+    tuning: TuningState,
 }
 
 impl FtImm {
@@ -74,7 +152,19 @@ impl FtImm {
             plan_cache: PlanCache::new(plan_capacity),
             timing_simulations: AtomicU64::new(0),
             planning_failures: AtomicU64::new(0),
+            tuning: TuningState::default(),
         }
+    }
+
+    /// Create a context warm-started from an on-disk plan catalog: every
+    /// catalog plan is preloaded into the plan cache, so
+    /// [`FtImm::plan_full`] serves covered shapes with **zero** timing
+    /// simulations, and the catalog's calibration records seed
+    /// [`FtImm::calibration`].
+    pub fn with_plan_catalog(cfg: HwConfig, path: &Path) -> Result<Self, String> {
+        let ft = FtImm::new(cfg);
+        ft.load_plan_catalog(path)?;
+        Ok(ft)
     }
 
     /// The shared kernel cache.
@@ -123,7 +213,20 @@ impl FtImm {
             strategy,
         };
         if let Some(plan) = self.plan_cache.get(&key) {
+            if self.tuning.catalog_attached.load(Ordering::Relaxed)
+                && self
+                    .tuning
+                    .catalog_keys
+                    .lock()
+                    .expect("tuning state poisoned")
+                    .contains(&key)
+            {
+                self.tuning.catalog_hits.fetch_add(1, Ordering::Relaxed);
+            }
             return plan;
+        }
+        if self.tuning.catalog_attached.load(Ordering::Relaxed) {
+            self.tuning.catalog_misses.fetch_add(1, Ordering::Relaxed);
         }
         let plan = Planner::new(self.cache(), &self.cfg).plan(shape, strategy, cores, |cand| {
             self.timing_simulations.fetch_add(1, Ordering::Relaxed);
@@ -131,6 +234,161 @@ impl FtImm {
         });
         self.plan_cache.insert(key, plan);
         plan
+    }
+
+    /// Autotune a shape: search beyond the planner's candidates (bit-safe
+    /// chunk variants, seeded random probes, neighborhood refinement),
+    /// record every simulation as a calibration observation, and install
+    /// the tuned plan under the `Strategy::Auto` cache key so subsequent
+    /// [`FtImm::plan_full`] / [`FtImm::gemm`] calls use it without
+    /// re-planning.
+    ///
+    /// Deterministic for a fixed [`TuneConfig::seed`] and context state.
+    /// The tuned plan is never predicted slower than the analytic pick
+    /// (the default is always simulated first and the minimum wins).
+    pub fn tune(&self, shape: &GemmShape, cores: usize, config: &TuneConfig) -> TuneOutcome {
+        let calibration = self.calibration();
+        let tuner = Tuner::new(self.cache(), &self.cfg, *config);
+        let outcome = tuner.tune(shape, cores, &calibration, |cand, n| {
+            self.timing_simulations.fetch_add(1, Ordering::Relaxed);
+            self.predict_seconds(shape, cand, n)
+        });
+        self.tuning
+            .records
+            .lock()
+            .expect("tuning state poisoned")
+            .extend(outcome.records.iter().copied());
+        self.tuning.plans_tuned.fetch_add(1, Ordering::Relaxed);
+        if outcome.adopted_variant {
+            self.tuning.variants_adopted.fetch_add(1, Ordering::Relaxed);
+        }
+        let key = PlanKey {
+            shape: *shape,
+            cores,
+            strategy: Strategy::Auto,
+        };
+        self.plan_cache.insert(key, outcome.plan);
+        upsert_plan(
+            &mut self.tuning.tuned.lock().expect("tuning state poisoned"),
+            key,
+            outcome.plan,
+        );
+        outcome
+    }
+
+    /// [`FtImm::tune`] with the tuning time charged to the machine's
+    /// profiler as a [`Phase::Tune`] span (host-side, like `Phase::Plan`:
+    /// it shows up on the profile's `tuner` track and never counts
+    /// toward core busy time).
+    pub fn tune_on(
+        &self,
+        m: &mut Machine,
+        shape: &GemmShape,
+        cores: usize,
+        config: &TuneConfig,
+    ) -> TuneOutcome {
+        let t0 = std::time::Instant::now();
+        let outcome = self.tune(shape, cores, config);
+        let dt = t0.elapsed().as_secs_f64();
+        let now = m.elapsed();
+        m.record_span(0, Phase::Tune, now, now + dt);
+        outcome
+    }
+
+    /// The calibration fitted from every record this context holds
+    /// (tuner-observed plus catalog-loaded).
+    pub fn calibration(&self) -> Calibration {
+        Calibration::fit(&self.tuning.records.lock().expect("tuning state poisoned"))
+    }
+
+    /// A copy of every calibration record this context holds.
+    pub fn calibration_records(&self) -> Vec<CalibrationRecord> {
+        self.tuning
+            .records
+            .lock()
+            .expect("tuning state poisoned")
+            .clone()
+    }
+
+    /// Load an on-disk plan catalog into this context: preload the plan
+    /// cache (one bulk-load eviction event at most), adopt the catalog's
+    /// calibration records, and start attributing cache traffic to
+    /// catalog hit/miss counters.  Corrupt entries are quarantined (see
+    /// [`TuningStats::quarantined`]), not fatal.  Returns the number of
+    /// plans preloaded.
+    pub fn load_plan_catalog(&self, path: &Path) -> Result<usize, String> {
+        let load = store::load_catalog(path)?;
+        Ok(self.attach_catalog(load))
+    }
+
+    /// Attach an already-parsed catalog (the body of
+    /// [`FtImm::load_plan_catalog`]; exposed for fixture replay).
+    pub fn attach_catalog(&self, load: CatalogLoad) -> usize {
+        let kept = self.plan_cache.preload(&load.catalog.entries);
+        self.tuning
+            .quarantined
+            .fetch_add(load.quarantined as u64, Ordering::Relaxed);
+        {
+            let mut keys = self
+                .tuning
+                .catalog_keys
+                .lock()
+                .expect("tuning state poisoned");
+            for (key, _) in &load.catalog.entries {
+                if !keys.contains(key) {
+                    keys.push(*key);
+                }
+            }
+        }
+        {
+            let mut tuned = self.tuning.tuned.lock().expect("tuning state poisoned");
+            for (key, plan) in &load.catalog.entries {
+                upsert_plan(&mut tuned, *key, *plan);
+            }
+        }
+        self.tuning
+            .records
+            .lock()
+            .expect("tuning state poisoned")
+            .extend(load.catalog.records.iter().copied());
+        self.tuning.catalog_attached.store(true, Ordering::Relaxed);
+        kept
+    }
+
+    /// Persist every tuned plan and calibration record this context
+    /// holds (including catalog-loaded ones, so load → tune → save
+    /// accumulates) as an `ftimm-plan-catalog-v1` document at `path`.
+    pub fn save_plan_catalog(&self, path: &Path) -> Result<(), String> {
+        let mut catalog = PlanCatalog::default();
+        for (key, plan) in self
+            .tuning
+            .tuned
+            .lock()
+            .expect("tuning state poisoned")
+            .iter()
+        {
+            catalog.upsert(*key, *plan);
+        }
+        catalog.records = self.calibration_records();
+        store::save_catalog(path, &catalog)
+    }
+
+    /// Tuning and catalog counters.
+    pub fn tuning_stats(&self) -> TuningStats {
+        TuningStats {
+            plans_tuned: self.tuning.plans_tuned.load(Ordering::Relaxed),
+            variants_adopted: self.tuning.variants_adopted.load(Ordering::Relaxed),
+            calibration_records: self
+                .tuning
+                .records
+                .lock()
+                .expect("tuning state poisoned")
+                .len() as u64,
+            catalog_attached: self.tuning.catalog_attached.load(Ordering::Relaxed),
+            catalog_hits: self.tuning.catalog_hits.load(Ordering::Relaxed),
+            catalog_misses: self.tuning.catalog_misses.load(Ordering::Relaxed),
+            quarantined: self.tuning.quarantined.load(Ordering::Relaxed),
+        }
     }
 
     /// Resolve a strategy for a shape (without running anything): the
@@ -331,6 +589,55 @@ mod tests {
         assert_eq!(first, second, "planning is deterministic");
         assert!(ft.timing_simulations() > sims);
         assert_eq!(ft.plan_cache_stats().hits, 0);
+    }
+
+    #[test]
+    fn tuned_plans_install_under_the_auto_key() {
+        let ft = FtImm::new(HwConfig::default());
+        let shape = GemmShape::new(4096, 32, 256);
+        let outcome = ft.tune(&shape, 8, &crate::plan::TuneConfig::default());
+        assert!(outcome.plan.simulated_s <= outcome.default_plan.simulated_s);
+        assert_eq!(outcome.plan.origin, crate::plan::PlanOrigin::Tuned);
+        let stats = ft.tuning_stats();
+        assert_eq!(stats.plans_tuned, 1);
+        assert_eq!(stats.calibration_records, outcome.records.len() as u64);
+        assert!(!stats.catalog_attached);
+        // The tuned plan now serves Auto requests with zero simulations.
+        let sims = ft.timing_simulations();
+        assert_eq!(ft.plan_full(&shape, Strategy::Auto, 8), outcome.plan);
+        assert_eq!(ft.timing_simulations(), sims);
+    }
+
+    #[test]
+    fn catalog_round_trip_warm_starts_a_fresh_context() {
+        let path = std::env::temp_dir().join(format!("ftimm-api-cat-{}.json", std::process::id()));
+        let shape = GemmShape::new(4096, 32, 256);
+        let tuned = {
+            let ft = FtImm::new(HwConfig::default());
+            let outcome = ft.tune(&shape, 8, &crate::plan::TuneConfig::default());
+            ft.save_plan_catalog(&path).unwrap();
+            outcome.plan
+        };
+        let ft = FtImm::with_plan_catalog(HwConfig::default(), &path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(ft.plan_full(&shape, Strategy::Auto, 8), tuned);
+        assert_eq!(ft.timing_simulations(), 0, "warm start simulates nothing");
+        let stats = ft.tuning_stats();
+        assert!(stats.catalog_attached);
+        assert_eq!(stats.catalog_hits, 1);
+        assert_eq!(stats.quarantined, 0);
+        assert!(stats.calibration_records > 0);
+        // A shape the catalog does not cover is a catalog miss.
+        ft.plan_full(&GemmShape::new(64, 64, 64), Strategy::Auto, 4);
+        assert_eq!(ft.tuning_stats().catalog_misses, 1);
+    }
+
+    #[test]
+    fn strategy_tags_round_trip() {
+        for s in Strategy::ALL {
+            assert_eq!(Strategy::from_tag(s.tag()).unwrap(), s);
+        }
+        assert!(Strategy::from_tag("vibes").is_err());
     }
 
     #[test]

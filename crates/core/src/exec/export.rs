@@ -44,6 +44,8 @@ pub fn profile_json(prof: &PhaseProfile) -> String {
     let _ = writeln!(s, "  \"plan_hits\": {},", prof.plan_hits);
     let _ = writeln!(s, "  \"plan_misses\": {},", prof.plan_misses);
     let _ = writeln!(s, "  \"plan_evictions\": {},", prof.plan_evictions);
+    let _ = writeln!(s, "  \"catalog_hits\": {},", prof.catalog_hits);
+    let _ = writeln!(s, "  \"catalog_misses\": {},", prof.catalog_misses);
     let _ = writeln!(s, "  \"spans\": {},", prof.spans);
     let _ = writeln!(s, "  \"events\": {},", prof.events);
     let _ = writeln!(s, "  \"dropped\": {}", prof.dropped);
@@ -96,6 +98,8 @@ pub fn profile_from_json(text: &str) -> Result<PhaseProfile, String> {
             "plan_hits" => prof.plan_hits = v.as_u64("plan_hits")?,
             "plan_misses" => prof.plan_misses = v.as_u64("plan_misses")?,
             "plan_evictions" => prof.plan_evictions = v.as_u64("plan_evictions")?,
+            "catalog_hits" => prof.catalog_hits = v.as_u64("catalog_hits")?,
+            "catalog_misses" => prof.catalog_misses = v.as_u64("catalog_misses")?,
             "spans" => prof.spans = v.as_u64("spans")?,
             "events" => prof.events = v.as_u64("events")?,
             "dropped" => prof.dropped = v.as_u64("dropped")?,
@@ -110,12 +114,16 @@ pub fn profile_from_json(text: &str) -> Result<PhaseProfile, String> {
 
 /// The trace thread a span or event renders on: each physical core gets
 /// a compute track (`2·core`) and a DMA-engine track (`2·core + 1`);
-/// host-side planning gets one dedicated track above all core tracks.
+/// host-side planning and autotuning each get one dedicated track above
+/// all core tracks.
 const PLANNER_TID: usize = 2 * PROFILE_CORES;
+const TUNER_TID: usize = 2 * PROFILE_CORES + 1;
 
 fn span_tid(phase: Phase, core: usize) -> usize {
     if phase == Phase::Plan {
         PLANNER_TID
+    } else if phase == Phase::Tune {
+        TUNER_TID
     } else if phase.is_data_movement() {
         2 * core + 1
     } else {
@@ -169,6 +177,8 @@ pub fn chrome_trace_json_clusters(clusters: &[(String, Vec<&Profiler>)]) -> Stri
         for &tid in &tids {
             let name = if tid == PLANNER_TID {
                 "planner".to_string()
+            } else if tid == TUNER_TID {
+                "tuner".to_string()
             } else {
                 let side = if tid % 2 == 0 { "compute" } else { "dma" };
                 format!("core{} {side}", tid / 2)
@@ -237,6 +247,8 @@ mod tests {
         prof.plan_hits = 7;
         prof.plan_misses = 2;
         prof.plan_evictions = 1;
+        prof.catalog_hits = 3;
+        prof.catalog_misses = 1;
         prof
     }
 
@@ -324,6 +336,32 @@ mod tests {
         assert_eq!(name, "planner");
         let tid = events[2].get("tid").unwrap().as_u64("tid").unwrap();
         assert_eq!(tid as usize, PLANNER_TID);
+    }
+
+    #[test]
+    fn tune_spans_render_on_a_dedicated_tuner_track() {
+        let mut p = Profiler::enabled(64);
+        p.record(Span {
+            phase: Phase::Tune,
+            core: 0,
+            t0: 0.0,
+            t1: 2e-6,
+        });
+        let text = chrome_trace_json(&p);
+        let v = Parser::new(&text).parse().unwrap();
+        let events = v.get("traceEvents").unwrap().as_arr("traceEvents").unwrap();
+        // process_name + tuner thread_name + the span itself.
+        assert_eq!(events.len(), 3);
+        let name = events[1]
+            .get("args")
+            .unwrap()
+            .get("name")
+            .unwrap()
+            .as_str("name")
+            .unwrap();
+        assert_eq!(name, "tuner");
+        let tid = events[2].get("tid").unwrap().as_u64("tid").unwrap();
+        assert_eq!(tid as usize, TUNER_TID);
     }
 
     #[test]

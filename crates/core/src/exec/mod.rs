@@ -11,7 +11,12 @@
 //!    (or pin a pre-resolved strategy), which pulls generated
 //!    micro-kernels through the shared [`kernelgen::KernelCache`];
 //!    planning time is recorded as a [`dspsim::Phase::Plan`] span when
-//!    profiling;
+//!    profiling.  Tuned plans flow through the same path: an
+//!    [`crate::FtImm::tune`] call (or a loaded plan catalog) installs
+//!    its plan under the `Strategy::Auto` cache key, so the executor
+//!    picks it up on the next dispatch with zero extra simulations
+//!    (tuning time itself is a [`dspsim::Phase::Tune`] span, see
+//!    [`crate::FtImm::tune_on`]);
 //! 3. **guard** — arm the simulator watchdog for the caller's deadline
 //!    and hung-DMA budget, on the simulated clock;
 //! 4. **run** — drive the strategy runner directly, or through the

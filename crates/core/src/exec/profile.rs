@@ -21,5 +21,8 @@ pub(crate) fn finish(
     prof.plan_hits = stats.hits;
     prof.plan_misses = stats.misses;
     prof.plan_evictions = stats.evictions;
+    let tuning = ft.tuning_stats();
+    prof.catalog_hits = tuning.catalog_hits;
+    prof.catalog_misses = tuning.catalog_misses;
     prof
 }

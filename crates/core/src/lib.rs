@@ -61,7 +61,7 @@ pub use adjust::{
     adjust_kpar, adjust_mpar, cmr_f1, cmr_f2, cmr_f3, cmr_f4, initial_kpar, initial_mpar,
     ChosenStrategy,
 };
-pub use api::{FtImm, Strategy};
+pub use api::{FtImm, Strategy, TuningStats};
 pub use backend::{
     Backend, BackendPrediction, CpuBackend, CpuLaneOutcome, CpuStripeRun, DspBackend,
 };
@@ -84,8 +84,12 @@ pub use kpar::{run_kpar, KparBlocks};
 pub use matrix::{DdrMatrix, GemmProblem};
 pub use mpar::{run_mpar, MparBlocks};
 pub use plan::{
-    analytic_seconds, choose_strategy, plan_from_json, plan_json, plan_sharded, Plan, PlanCache,
-    PlanCacheStats, PlanKey, PlanOrigin, Planner, Shard, ShardedPlan, DEFAULT_PLAN_CACHE_CAPACITY,
+    analytic_seconds, bit_signature, catalog_from_json, catalog_json, choose_strategy,
+    corrected_seconds, load_catalog, plan_from_json, plan_json, plan_sharded, ranking_agreement,
+    save_catalog, BitSignature, Calibration, CalibrationRecord, CatalogLoad, Plan, PlanCache,
+    PlanCacheStats, PlanCatalog, PlanKey, PlanOrigin, Planner, RegimeAgreement, Shard, ShardedPlan,
+    StrategyKind, TuneConfig, TuneOutcome, Tuner, DEFAULT_PLAN_CACHE_CAPACITY, PLAN_CATALOG_SCHEMA,
+    REGIMES,
 };
 pub use resilience::{
     max_abs_error_vs_oracle, run_resilient, run_resilient_full, ResilienceConfig, ResilientRun,

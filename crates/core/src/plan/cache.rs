@@ -102,6 +102,36 @@ impl PlanCache {
         entries.push((key, plan));
     }
 
+    /// Bulk-load `entries` (a catalog warm start) in order, replacing
+    /// duplicates in place, then trim to capacity in one step.
+    ///
+    /// Unlike per-plan [`PlanCache::insert`], an over-capacity preload
+    /// counts **one** eviction for the whole trim, not one per dropped
+    /// probe: the counter tracks capacity-pressure *events*, and a bulk
+    /// load that overflows is a single event — counting every dropped
+    /// catalog entry would make a large catalog look like cache thrash.
+    /// Returns how many preloaded entries were kept.
+    pub fn preload(&self, entries: &[(PlanKey, Plan)]) -> usize {
+        if self.capacity == 0 || entries.is_empty() {
+            return 0;
+        }
+        let mut held = self.entries.lock().expect("plan cache poisoned");
+        for (key, plan) in entries {
+            if let Some(pos) = held.iter().position(|(k, _)| k == key) {
+                held.remove(pos);
+            }
+            held.push((*key, *plan));
+        }
+        if held.len() > self.capacity {
+            let overflow = held.len() - self.capacity;
+            held.drain(..overflow);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        held.iter()
+            .filter(|(k, _)| entries.iter().any(|(bk, _)| bk == k))
+            .count()
+    }
+
     /// Lifetime counters and current occupancy.
     pub fn stats(&self) -> PlanCacheStats {
         PlanCacheStats {
@@ -164,6 +194,41 @@ mod tests {
         assert_eq!(cache.get(&key(1)), None);
         assert_eq!(cache.stats().len, 0);
         assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn over_capacity_preload_counts_one_eviction_not_per_probe() {
+        let cache = PlanCache::new(3);
+        cache.insert(key(0), plan(0));
+        // Preload 5 entries into capacity 3: two oldest fall out (the
+        // resident entry and preload #1), but that is ONE bulk-load
+        // eviction event, not two — and certainly not one per probe.
+        let batch: Vec<_> = (1..=5).map(|m| (key(m), plan(m))).collect();
+        let kept = cache.preload(&batch);
+        assert_eq!(kept, 3);
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1, "bulk load is one eviction event");
+        assert_eq!(stats.len, 3);
+        assert_eq!(cache.get(&key(0)), None);
+        assert_eq!(cache.get(&key(1)), None);
+        for m in 3..=5 {
+            assert_eq!(cache.get(&key(m)), Some(plan(m)), "entry {m}");
+        }
+    }
+
+    #[test]
+    fn preload_replaces_duplicates_and_respects_zero_capacity() {
+        let cache = PlanCache::new(4);
+        cache.insert(key(1), plan(9));
+        let kept = cache.preload(&[(key(1), plan(1)), (key(2), plan(2))]);
+        assert_eq!(kept, 2);
+        assert_eq!(cache.get(&key(1)), Some(plan(1)));
+        assert_eq!(cache.stats().evictions, 0);
+        assert_eq!(cache.stats().len, 2);
+
+        let disabled = PlanCache::new(0);
+        assert_eq!(disabled.preload(&[(key(1), plan(1))]), 0);
+        assert_eq!(disabled.stats().len, 0);
     }
 
     #[test]

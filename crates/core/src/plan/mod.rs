@@ -31,11 +31,21 @@ pub mod cache;
 pub mod cost;
 pub mod planner;
 pub mod sharded;
+pub mod store;
+pub mod tune;
 
 pub use cache::{PlanCache, PlanCacheStats, PlanKey, DEFAULT_PLAN_CACHE_CAPACITY};
-pub use cost::analytic_seconds;
+pub use cost::{analytic_seconds, corrected_seconds};
 pub use planner::{choose_strategy, Planner};
 pub use sharded::{plan_sharded, Shard, ShardedPlan};
+pub use store::{
+    catalog_from_json, catalog_json, load_catalog, save_catalog, CatalogLoad, PlanCatalog,
+    PLAN_CATALOG_SCHEMA,
+};
+pub use tune::{
+    bit_signature, ranking_agreement, BitSignature, Calibration, CalibrationRecord,
+    RegimeAgreement, StrategyKind, TuneConfig, TuneOutcome, Tuner, REGIMES,
+};
 
 use crate::{ChosenStrategy, GemmShape, KparBlocks, MparBlocks};
 use dspsim::minijson::{quote, Parser, Value};
@@ -53,6 +63,10 @@ pub enum PlanOrigin {
     CostModel,
     /// The caller handed the executor a pre-resolved strategy.
     Pinned,
+    /// The autotuner searched beyond the planner's candidates and either
+    /// adopted a bit-safe variant or confirmed the default pick
+    /// (see [`tune::Tuner`]).
+    Tuned,
 }
 
 impl PlanOrigin {
@@ -63,6 +77,7 @@ impl PlanOrigin {
             PlanOrigin::Rules => "rules",
             PlanOrigin::CostModel => "cost-model",
             PlanOrigin::Pinned => "pinned",
+            PlanOrigin::Tuned => "tuned",
         }
     }
 
@@ -73,6 +88,7 @@ impl PlanOrigin {
             PlanOrigin::Rules,
             PlanOrigin::CostModel,
             PlanOrigin::Pinned,
+            PlanOrigin::Tuned,
         ]
         .into_iter()
         .find(|o| o.tag() == s)
@@ -250,6 +266,13 @@ fn strategy_from_json(v: &Value) -> Result<ChosenStrategy, String> {
 /// Parse a plan document produced by [`plan_json`].
 pub fn plan_from_json(text: &str) -> Result<Plan, String> {
     let value = Parser::new(text).parse()?;
+    plan_from_value(&value)
+}
+
+/// Parse an already-parsed plan object (the body of [`plan_from_json`],
+/// shared with the [`store`] catalog codec which embeds plan documents
+/// verbatim inside catalog entries).
+pub(crate) fn plan_from_value(value: &Value) -> Result<Plan, String> {
     let obj = value.as_obj("plan")?;
     let mut schema_ok = false;
     for (key, v) in obj {
@@ -271,7 +294,7 @@ pub fn plan_from_json(text: &str) -> Result<Plan, String> {
             field_usize(shape, "n")?,
             field_usize(shape, "k")?,
         ),
-        cores: field_usize(&value, "cores")?,
+        cores: field_usize(value, "cores")?,
         strategy: strategy_from_json(value.get("strategy").ok_or("missing \"strategy\"")?)?,
         origin: PlanOrigin::from_tag(
             value
@@ -279,10 +302,10 @@ pub fn plan_from_json(text: &str) -> Result<Plan, String> {
                 .ok_or("missing \"origin\"")?
                 .as_str("origin")?,
         )?,
-        predicted_s: seconds_field(&value, "predicted_s")?,
-        simulated_s: seconds_field(&value, "simulated_s")?,
-        candidates: field_usize(&value, "candidates")? as u32,
-        simulations: field_usize(&value, "simulations")? as u32,
+        predicted_s: seconds_field(value, "predicted_s")?,
+        simulated_s: seconds_field(value, "simulated_s")?,
+        candidates: field_usize(value, "candidates")? as u32,
+        simulations: field_usize(value, "simulations")? as u32,
     };
     Ok(plan)
 }

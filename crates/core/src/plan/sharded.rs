@@ -40,6 +40,13 @@
 //!    work-group tradeoff from the DPU partitioner exemplar.  The search
 //!    is a pure O(clusters) function of the cached plan, so it needs no
 //!    memo of its own.
+//!
+//! Because stage 1 goes through `plan_full`, sharded planning inherits
+//! tuned plans transparently: a catalog-preloaded or
+//! [`crate::FtImm::tune`]-installed plan under the `Strategy::Auto` key
+//! is what gets pinned across every shard — and since the tuner only
+//! adopts [`super::tune::BitSignature`]-equal variants, the sharded
+//! bitwise-identity argument above is unaffected by tuning.
 
 use crate::grid::LAUNCH_OVERHEAD_S;
 use crate::plan::Plan;

@@ -1,0 +1,412 @@
+//! The on-disk plan catalog: `ftimm-plan-catalog-v1`.
+//!
+//! Tuned plans and calibration records persist across processes through
+//! a single JSON document built on the [`dspsim::minijson`] codec:
+//!
+//! ```json
+//! {
+//!   "schema": "ftimm-plan-catalog-v1",
+//!   "entries": [ { "key": {...}, "plan": { ...ftimm-plan-v1... } } ],
+//!   "records": [ { "m": .., "kind": "mpar", "analytic_s": .., ... } ]
+//! }
+//! ```
+//!
+//! Each entry embeds a complete [`super::plan_json`] document under
+//! `"plan"`, so a catalog entry is exactly as expressive (and exactly as
+//! strictly validated) as a standalone plan file.  Failure policy:
+//!
+//! * **Document-level** problems — unreadable file, truncated/invalid
+//!   JSON, missing or unknown `schema`, duplicate keys — reject the whole
+//!   catalog with `Err`.  A catalog that lies about its own structure
+//!   cannot be trusted entry-by-entry.
+//! * **Entry-level** corruption — a mangled plan or record, a key that
+//!   disagrees with its plan's shape/cores — is *quarantined*: the entry
+//!   is skipped and counted in [`CatalogLoad::quarantined`], never a
+//!   panic and never a poisoned load.  One bad entry must not cost the
+//!   warm start of every other shape.
+//!
+//! Loading a catalog pre-populates the LRU [`super::PlanCache`] (via
+//! [`crate::FtImm::with_plan_catalog`]), which is what makes
+//! `plan_full` warm-start simulation-free across processes.
+
+use super::{field_usize, plan_from_value, plan_json, seconds_field, Plan, PlanKey};
+use crate::plan::tune::{CalibrationRecord, StrategyKind};
+use crate::{GemmShape, Strategy};
+use dspsim::minijson::{quote, Parser, Value};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Document identifier embedded in (and required from) catalog JSON.
+pub const PLAN_CATALOG_SCHEMA: &str = "ftimm-plan-catalog-v1";
+
+/// A persistable set of tuned plans plus the calibration records they
+/// were tuned from.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PlanCatalog {
+    /// Tuned plans, keyed exactly like the in-memory plan cache.
+    pub entries: Vec<(PlanKey, Plan)>,
+    /// Observed (analytic, simulated) pairs for calibration refitting.
+    pub records: Vec<CalibrationRecord>,
+}
+
+impl PlanCatalog {
+    /// Insert or replace the plan stored under `key`.
+    pub fn upsert(&mut self, key: PlanKey, plan: Plan) {
+        match self.entries.iter_mut().find(|(k, _)| *k == key) {
+            Some(slot) => slot.1 = plan,
+            None => self.entries.push((key, plan)),
+        }
+    }
+}
+
+/// The result of parsing a catalog: the clean part plus how many
+/// corrupt entries/records were quarantined along the way.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CatalogLoad {
+    /// Every entry and record that validated.
+    pub catalog: PlanCatalog,
+    /// Corrupt entries/records skipped (0 for a pristine catalog).
+    pub quarantined: usize,
+}
+
+/// Serialise a catalog as a self-contained pretty-printed JSON document
+/// (stable field order, exact `f64` round-trip, `"inf"` sentinel for
+/// infinities — the same conventions as [`plan_json`]).
+pub fn catalog_json(catalog: &PlanCatalog) -> String {
+    let sec = |v: f64| {
+        if v.is_finite() {
+            format!("{v:?}")
+        } else {
+            "\"inf\"".to_string()
+        }
+    };
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema\": {},", quote(PLAN_CATALOG_SCHEMA));
+    s.push_str("  \"entries\": [");
+    for (i, (key, plan)) in catalog.entries.iter().enumerate() {
+        s.push_str(if i == 0 { "\n" } else { ",\n" });
+        s.push_str("    {\n");
+        let _ = writeln!(
+            s,
+            "      \"key\": {{\"m\": {}, \"n\": {}, \"k\": {}, \"cores\": {}, \
+             \"strategy\": {}}},",
+            key.shape.m,
+            key.shape.n,
+            key.shape.k,
+            key.cores,
+            quote(key.strategy.tag())
+        );
+        // The embedded plan is a verbatim ftimm-plan-v1 document,
+        // re-indented to sit inside the entry object.
+        let doc = plan_json(plan);
+        let mut lines = doc.lines();
+        let _ = write!(s, "      \"plan\": {}", lines.next().unwrap_or("{}"));
+        for line in lines {
+            let _ = write!(s, "\n      {line}");
+        }
+        s.push_str("\n    }");
+    }
+    s.push_str(if catalog.entries.is_empty() {
+        "],\n"
+    } else {
+        "\n  ],\n"
+    });
+    s.push_str("  \"records\": [");
+    for (i, r) in catalog.records.iter().enumerate() {
+        s.push_str(if i == 0 { "\n" } else { ",\n" });
+        let _ = write!(
+            s,
+            "    {{\"m\": {}, \"n\": {}, \"k\": {}, \"cores\": {}, \"kind\": {}, \
+             \"analytic_s\": {}, \"simulated_s\": {}}}",
+            r.shape.m,
+            r.shape.n,
+            r.shape.k,
+            r.cores,
+            quote(r.kind.tag()),
+            sec(r.analytic_s),
+            sec(r.simulated_s)
+        );
+    }
+    s.push_str(if catalog.records.is_empty() {
+        "]\n"
+    } else {
+        "\n  ]\n"
+    });
+    s.push('}');
+    s
+}
+
+fn parse_entry(v: &Value) -> Result<(PlanKey, Plan), String> {
+    let key_v = v.get("key").ok_or("entry missing \"key\"")?;
+    let key = PlanKey {
+        shape: GemmShape::new(
+            field_usize(key_v, "m")?,
+            field_usize(key_v, "n")?,
+            field_usize(key_v, "k")?,
+        ),
+        cores: field_usize(key_v, "cores")?,
+        strategy: Strategy::from_tag(
+            key_v
+                .get("strategy")
+                .ok_or("key missing \"strategy\"")?
+                .as_str("strategy")?,
+        )?,
+    };
+    let plan = plan_from_value(v.get("plan").ok_or("entry missing \"plan\"")?)?;
+    if plan.shape != key.shape || plan.cores != key.cores {
+        return Err("entry key does not match its plan".into());
+    }
+    Ok((key, plan))
+}
+
+fn parse_record(v: &Value) -> Result<CalibrationRecord, String> {
+    Ok(CalibrationRecord {
+        shape: GemmShape::new(
+            field_usize(v, "m")?,
+            field_usize(v, "n")?,
+            field_usize(v, "k")?,
+        ),
+        cores: field_usize(v, "cores")?,
+        kind: StrategyKind::from_tag(
+            v.get("kind")
+                .ok_or("record missing \"kind\"")?
+                .as_str("kind")?,
+        )?,
+        analytic_s: seconds_field(v, "analytic_s")?,
+        simulated_s: seconds_field(v, "simulated_s")?,
+    })
+}
+
+/// Parse a catalog document produced by [`catalog_json`].
+///
+/// Structural problems (truncation, unknown schema, duplicate keys)
+/// return `Err`; corrupt individual entries/records are quarantined and
+/// counted, never panicked on.
+pub fn catalog_from_json(text: &str) -> Result<CatalogLoad, String> {
+    let value = Parser::new(text).parse()?;
+    value.as_obj("catalog")?;
+    let schema = value
+        .get("schema")
+        .ok_or("catalog missing \"schema\"")?
+        .as_str("schema")?;
+    if schema != PLAN_CATALOG_SCHEMA {
+        return Err(format!("unsupported catalog schema {schema:?}"));
+    }
+    let mut catalog = PlanCatalog::default();
+    let mut quarantined = 0usize;
+    let entries = value
+        .get("entries")
+        .ok_or("catalog missing \"entries\"")?
+        .as_arr("entries")?;
+    for entry in entries {
+        match parse_entry(entry) {
+            Ok((key, plan)) => {
+                if catalog.entries.iter().any(|(k, _)| *k == key) {
+                    return Err(format!(
+                        "duplicate catalog key for {} on {} cores",
+                        key.shape, key.cores
+                    ));
+                }
+                catalog.entries.push((key, plan));
+            }
+            Err(_) => quarantined += 1,
+        }
+    }
+    let records = value
+        .get("records")
+        .ok_or("catalog missing \"records\"")?
+        .as_arr("records")?;
+    for r in records {
+        match parse_record(r) {
+            Ok(rec) => catalog.records.push(rec),
+            Err(_) => quarantined += 1,
+        }
+    }
+    Ok(CatalogLoad {
+        catalog,
+        quarantined,
+    })
+}
+
+/// Write a catalog to `path` (atomicity is the caller's concern; the
+/// document is always complete or the write errors).
+pub fn save_catalog(path: &Path, catalog: &PlanCatalog) -> Result<(), String> {
+    std::fs::write(path, catalog_json(catalog))
+        .map_err(|e| format!("write {}: {e}", path.display()))
+}
+
+/// Read and parse a catalog from `path`.
+pub fn load_catalog(path: &Path) -> Result<CatalogLoad, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    catalog_from_json(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::PlanOrigin;
+    use crate::{ChosenStrategy, MparBlocks};
+
+    fn sample_plan(shape: GemmShape, cores: usize) -> Plan {
+        Plan {
+            shape,
+            cores,
+            strategy: ChosenStrategy::MPar(MparBlocks {
+                n_g: 32,
+                k_g: 512,
+                m_a: 320,
+                n_a: 32,
+                k_a: 512,
+                m_s: 8,
+            }),
+            origin: PlanOrigin::Tuned,
+            predicted_s: 1.25e-3,
+            simulated_s: 1.5e-3,
+            candidates: 14,
+            simulations: 9,
+        }
+    }
+
+    fn sample_catalog() -> PlanCatalog {
+        let shape = GemmShape::new(4096, 32, 512);
+        let mut cat = PlanCatalog::default();
+        cat.upsert(
+            PlanKey {
+                shape,
+                cores: 8,
+                strategy: Strategy::Auto,
+            },
+            sample_plan(shape, 8),
+        );
+        let other = GemmShape::new(32, 32, 16384);
+        cat.upsert(
+            PlanKey {
+                shape: other,
+                cores: 4,
+                strategy: Strategy::Auto,
+            },
+            sample_plan(other, 4),
+        );
+        cat.records.push(CalibrationRecord {
+            shape,
+            cores: 8,
+            kind: StrategyKind::MPar,
+            analytic_s: 1.25e-3,
+            simulated_s: 1.5e-3,
+        });
+        cat.records.push(CalibrationRecord {
+            shape: other,
+            cores: 4,
+            kind: StrategyKind::TGemm,
+            analytic_s: f64::INFINITY,
+            simulated_s: 9.5e-2,
+        });
+        cat
+    }
+
+    #[test]
+    fn catalogs_round_trip_exactly() {
+        let cat = sample_catalog();
+        let text = catalog_json(&cat);
+        let load = catalog_from_json(&text).unwrap();
+        assert_eq!(load.quarantined, 0);
+        assert_eq!(load.catalog, cat);
+        assert_eq!(catalog_json(&load.catalog), text);
+    }
+
+    #[test]
+    fn empty_catalogs_round_trip() {
+        let cat = PlanCatalog::default();
+        let load = catalog_from_json(&catalog_json(&cat)).unwrap();
+        assert_eq!(load.catalog, cat);
+        assert_eq!(load.quarantined, 0);
+    }
+
+    #[test]
+    fn truncated_and_unversioned_catalogs_are_rejected() {
+        let text = catalog_json(&sample_catalog());
+        assert!(catalog_from_json(&text[..text.len() / 2]).is_err());
+        assert!(catalog_from_json(&text[..text.len() - 1]).is_err());
+        let unknown = text.replace(PLAN_CATALOG_SCHEMA, "ftimm-plan-catalog-v9");
+        assert!(catalog_from_json(&unknown)
+            .unwrap_err()
+            .contains("unsupported catalog schema"));
+        assert!(catalog_from_json("{}").unwrap_err().contains("schema"));
+    }
+
+    #[test]
+    fn duplicate_keys_are_rejected() {
+        let mut cat = sample_catalog();
+        let dup = cat.entries[0];
+        cat.entries.push(dup);
+        assert!(catalog_from_json(&catalog_json(&cat))
+            .unwrap_err()
+            .contains("duplicate catalog key"));
+    }
+
+    #[test]
+    fn corrupt_entries_are_quarantined_not_fatal() {
+        let text = catalog_json(&sample_catalog());
+        // Mangle the first entry's plan origin: that entry quarantines,
+        // the second entry and both records survive.
+        let mangled = text.replacen("\"tuned\"", "\"vibes\"", 1);
+        let load = catalog_from_json(&mangled).unwrap();
+        assert_eq!(load.quarantined, 1);
+        assert_eq!(load.catalog.entries.len(), 1);
+        assert_eq!(load.catalog.records.len(), 2);
+        // Mangle a record's kind: record quarantines, entries survive.
+        let mangled = text.replacen("\"kind\": \"tgemm\"", "\"kind\": \"ggemm\"", 1);
+        let load = catalog_from_json(&mangled).unwrap();
+        assert_eq!(load.quarantined, 1);
+        assert_eq!(load.catalog.entries.len(), 2);
+        assert_eq!(load.catalog.records.len(), 1);
+    }
+
+    #[test]
+    fn key_plan_disagreement_is_quarantined() {
+        let shape = GemmShape::new(4096, 32, 512);
+        let mut cat = PlanCatalog::default();
+        cat.upsert(
+            PlanKey {
+                shape,
+                cores: 8,
+                strategy: Strategy::Auto,
+            },
+            sample_plan(shape, 4), // cores disagree with the key
+        );
+        let load = catalog_from_json(&catalog_json(&cat)).unwrap();
+        assert_eq!(load.quarantined, 1);
+        assert!(load.catalog.entries.is_empty());
+    }
+
+    #[test]
+    fn upsert_replaces_in_place() {
+        let shape = GemmShape::new(8, 8, 8);
+        let key = PlanKey {
+            shape,
+            cores: 2,
+            strategy: Strategy::Auto,
+        };
+        let mut cat = PlanCatalog::default();
+        cat.upsert(key, sample_plan(shape, 2));
+        let mut newer = sample_plan(shape, 2);
+        newer.simulations = 99;
+        cat.upsert(key, newer);
+        assert_eq!(cat.entries.len(), 1);
+        assert_eq!(cat.entries[0].1.simulations, 99);
+    }
+
+    #[test]
+    fn save_and_load_round_trip_through_disk() {
+        let cat = sample_catalog();
+        let path =
+            std::env::temp_dir().join(format!("ftimm-store-test-{}.json", std::process::id()));
+        save_catalog(&path, &cat).unwrap();
+        let load = load_catalog(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(load.catalog, cat);
+        assert!(load_catalog(Path::new("/nonexistent/ftimm.json")).is_err());
+    }
+}

@@ -1,0 +1,228 @@
+//! Property tests over the `ftimm-plan-catalog-v1` codec: arbitrary
+//! catalogs round-trip bitwise (value-equal *and* text-identical on
+//! re-serialisation), and malformed documents — truncations, unknown
+//! schema versions, duplicate keys — are rejected with `Err`, never a
+//! panic.  Entry-level corruption (a key disagreeing with its embedded
+//! plan) quarantines exactly that entry and keeps the rest.
+
+use ftimm::{
+    catalog_from_json, catalog_json, CalibrationRecord, ChosenStrategy, GemmShape, KparBlocks,
+    MparBlocks, Plan, PlanCatalog, PlanKey, PlanOrigin, Strategy, StrategyKind,
+    PLAN_CATALOG_SCHEMA,
+};
+use proptest::prelude::*;
+use proptest::strategy::Strategy as _;
+
+/// Seconds values the codec must preserve exactly: finite positives of
+/// wildly varying magnitude, plus the `"inf"` sentinel.
+fn arb_seconds() -> BoxedStrategy<f64> {
+    prop_oneof![
+        (1e-12f64..1e3).boxed(),
+        Just(f64::INFINITY).boxed(),
+        Just(4.9e-324f64).boxed(), // smallest subnormal: worst case for `{:?}`
+    ]
+    .boxed()
+}
+
+fn arb_chosen() -> BoxedStrategy<ChosenStrategy> {
+    prop_oneof![
+        (
+            1usize..64,
+            1usize..64,
+            1usize..64,
+            (1usize..16, 1usize..64, 6usize..15)
+        )
+            .prop_map(|(n_g, k_g, m_a, (n_a, k_a, m_s))| {
+                ChosenStrategy::MPar(MparBlocks {
+                    n_g: n_g * 16,
+                    k_g: k_g * 32,
+                    m_a: m_a * 32,
+                    n_a,
+                    k_a: k_a * 32,
+                    m_s,
+                })
+            }),
+        (
+            1usize..64,
+            1usize..64,
+            1usize..64,
+            (1usize..16, 1usize..64, 6usize..15)
+        )
+            .prop_map(|(m_g, n_g, m_a, (n_a, k_a, m_s))| {
+                ChosenStrategy::KPar(KparBlocks {
+                    m_g: m_g * 64,
+                    n_g: n_g * 16,
+                    m_a: m_a * 32,
+                    n_a,
+                    k_a: k_a * 32,
+                    m_s,
+                })
+            }),
+        Just(ChosenStrategy::TGemm),
+    ]
+    .boxed()
+}
+
+fn arb_origin() -> BoxedStrategy<PlanOrigin> {
+    prop_oneof![
+        Just(PlanOrigin::Forced),
+        Just(PlanOrigin::Rules),
+        Just(PlanOrigin::CostModel),
+        Just(PlanOrigin::Pinned),
+        Just(PlanOrigin::Tuned),
+    ]
+    .boxed()
+}
+
+/// One catalog entry minus its M dimension, which `arb_catalog` derives
+/// from the entry index so keys are unique by construction.
+type EntrySpec = (
+    (usize, usize, usize, usize), // m_small, n, k, cores
+    usize,                        // requested-strategy index
+    ChosenStrategy,
+    PlanOrigin,
+    (f64, f64), // predicted_s, simulated_s
+    (u32, u32), // candidates, simulations
+);
+
+fn arb_entry() -> BoxedStrategy<EntrySpec> {
+    (
+        (1usize..64, 1usize..4096, 1usize..4096, 1usize..16),
+        0usize..Strategy::ALL.len(),
+        arb_chosen(),
+        arb_origin(),
+        (arb_seconds(), arb_seconds()),
+        (0u32..1000, 0u32..100),
+    )
+        .boxed()
+}
+
+fn arb_record() -> BoxedStrategy<CalibrationRecord> {
+    (
+        (1usize..4096, 1usize..4096, 1usize..4096, 1usize..16),
+        0usize..StrategyKind::ALL.len(),
+        (arb_seconds(), arb_seconds()),
+    )
+        .prop_map(
+            |((m, n, k, cores), kind, (analytic_s, simulated_s))| CalibrationRecord {
+                shape: GemmShape::new(m, n, k),
+                cores,
+                kind: StrategyKind::ALL[kind],
+                analytic_s,
+                simulated_s,
+            },
+        )
+        .boxed()
+}
+
+fn build_catalog(specs: Vec<EntrySpec>, records: Vec<CalibrationRecord>) -> PlanCatalog {
+    let entries = specs
+        .into_iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let ((m_small, n, k, cores), strat, strategy, origin, secs, counts) = spec;
+            // Disjoint M intervals per index make every key unique.
+            let shape = GemmShape::new(64 * i + m_small, n, k);
+            let key = PlanKey {
+                shape,
+                cores,
+                strategy: Strategy::ALL[strat],
+            };
+            let plan = Plan {
+                shape,
+                cores,
+                strategy,
+                origin,
+                predicted_s: secs.0,
+                simulated_s: secs.1,
+                candidates: counts.0,
+                simulations: counts.1,
+            };
+            (key, plan)
+        })
+        .collect();
+    PlanCatalog { entries, records }
+}
+
+fn arb_catalog() -> BoxedStrategy<PlanCatalog> {
+    (
+        prop::collection::vec(arb_entry(), 0..8),
+        prop::collection::vec(arb_record(), 0..8),
+    )
+        .prop_map(|(specs, records)| build_catalog(specs, records))
+        .boxed()
+}
+
+fn arb_nonempty_catalog() -> BoxedStrategy<PlanCatalog> {
+    (
+        prop::collection::vec(arb_entry(), 1..8),
+        prop::collection::vec(arb_record(), 0..8),
+    )
+        .prop_map(|(specs, records)| build_catalog(specs, records))
+        .boxed()
+}
+
+proptest! {
+    /// Serialise → parse → re-serialise is the identity: the parsed
+    /// value equals the original catalog with nothing quarantined, and
+    /// the re-emitted document is byte-identical.
+    #[test]
+    fn catalogs_round_trip_bitwise(catalog in arb_catalog()) {
+        let text = catalog_json(&catalog);
+        let load = catalog_from_json(&text).expect("clean catalog must parse");
+        prop_assert_eq!(load.quarantined, 0);
+        prop_assert_eq!(&load.catalog, &catalog);
+        prop_assert_eq!(catalog_json(&load.catalog), text);
+    }
+
+    /// Every proper prefix of a catalog document is rejected with `Err`
+    /// — a truncated file must never parse or panic.  (The document is
+    /// pure ASCII, so any byte index is a char boundary.)
+    #[test]
+    fn truncated_catalogs_are_rejected(catalog in arb_catalog(), cut in 0usize..1_000_000) {
+        let text = catalog_json(&catalog);
+        prop_assert!(text.is_ascii());
+        let cut = cut % text.len();
+        prop_assert!(catalog_from_json(&text[..cut]).is_err());
+    }
+
+    /// Any schema version other than v1 is rejected at the document
+    /// level, whatever the payload looks like.
+    #[test]
+    fn unknown_schema_versions_are_rejected(catalog in arb_catalog(), v in 2u32..1000) {
+        let text = catalog_json(&catalog)
+            .replace(PLAN_CATALOG_SCHEMA, &format!("ftimm-plan-catalog-v{v}"));
+        prop_assert!(catalog_from_json(&text).is_err());
+    }
+
+    /// A document carrying the same plan key twice is rejected outright
+    /// (not quarantined): silently keeping either copy could change
+    /// which plan a warm start serves.
+    #[test]
+    fn duplicate_keys_are_rejected(catalog in arb_nonempty_catalog(), pick in 0usize..64) {
+        let mut dup = catalog;
+        let copy = dup.entries[pick % dup.entries.len()];
+        dup.entries.push(copy);
+        prop_assert!(catalog_from_json(&catalog_json(&dup)).is_err());
+    }
+
+    /// An entry whose key disagrees with its embedded plan is
+    /// quarantined alone; every other entry and record survives.
+    #[test]
+    fn key_plan_mismatches_quarantine_one_entry(
+        catalog in arb_nonempty_catalog(),
+        pick in 0usize..64,
+    ) {
+        let mut bad = catalog;
+        let i = pick % bad.entries.len();
+        // Far outside every generated M interval, so no key collision.
+        bad.entries[i].0.shape.m += 1_000_000;
+        let load = catalog_from_json(&catalog_json(&bad)).expect("document level is intact");
+        prop_assert_eq!(load.quarantined, 1);
+        prop_assert_eq!(load.catalog.entries.len(), bad.entries.len() - 1);
+        prop_assert_eq!(&load.catalog.records, &bad.records);
+        for (key, _) in &load.catalog.entries {
+            prop_assert!(key.shape.m < 1_000_000);
+        }
+    }
+}

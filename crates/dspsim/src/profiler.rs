@@ -41,10 +41,15 @@ pub enum Phase {
     /// accumulates them directly, without extending the profiled window
     /// or counting them as device busy time.
     Plan,
+    /// Host-side autotuning (candidate search, calibration fitting,
+    /// catalog I/O) charged by the tuner.  Handled exactly like
+    /// [`Phase::Plan`]: host wall durations accumulated directly, outside
+    /// the device window and busy accounting.
+    Tune,
 }
 
 /// Number of [`Phase`] variants (array dimension of per-phase tallies).
-pub const PHASE_COUNT: usize = 8;
+pub const PHASE_COUNT: usize = 9;
 
 /// Physical cores a [`PhaseProfile`] tracks individually (one cluster).
 pub const PROFILE_CORES: usize = 8;
@@ -60,6 +65,7 @@ impl Phase {
         Phase::Barrier,
         Phase::Recovery,
         Phase::Plan,
+        Phase::Tune,
     ];
 
     /// Stable lower-case name (used by the JSON exporters).
@@ -73,6 +79,7 @@ impl Phase {
             Phase::Barrier => "barrier",
             Phase::Recovery => "recovery",
             Phase::Plan => "plan",
+            Phase::Tune => "tune",
         }
     }
 
@@ -95,8 +102,9 @@ impl Phase {
     /// busy (non-idle) portion of the wall clock.
     fn priority(self) -> usize {
         match self {
-            // Plan spans never enter the exclusive sweep (they are
-            // host-side and accumulated directly), so the value is moot.
+            // Host-side spans never enter the exclusive sweep (they are
+            // accumulated directly), so these values are moot.
+            Phase::Tune => 8,
             Phase::Plan => 7,
             Phase::Compute => 6,
             Phase::Reduction => 5,
@@ -106,6 +114,13 @@ impl Phase {
             Phase::Recovery => 1,
             Phase::Barrier => 0,
         }
+    }
+
+    /// Whether this phase is host-side bookkeeping ([`Phase::Plan`] /
+    /// [`Phase::Tune`]): accumulated directly by the aggregator, excluded
+    /// from the device window, busy time and per-core occupancy.
+    pub fn is_host_side(self) -> bool {
+        matches!(self, Phase::Plan | Phase::Tune)
     }
 
     /// Whether this phase moves data (the "DMA" side of the DMA/compute
@@ -295,14 +310,14 @@ impl Profiler {
 
         // Boundary sweep: (time, phase index, +1/-1), plus per-core
         // busy-interval union computed from the same sorted boundaries.
-        // Plan spans are host-side planning time: they accumulate into
-        // their tally directly and never enter the sweep, so they neither
+        // Plan/Tune spans are host-side time: they accumulate into their
+        // tally directly and never enter the sweep, so they neither
         // extend the simulated window nor count as device busy time.
         let mut bounds: Vec<(f64, usize, i32)> = Vec::with_capacity(self.spans.len() * 2);
         let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
         for s in &self.spans {
-            if s.phase == Phase::Plan {
-                prof.phase_s[Phase::Plan.index()] += s.t1 - s.t0;
+            if s.phase.is_host_side() {
+                prof.phase_s[s.phase.index()] += s.t1 - s.t0;
                 continue;
             }
             lo = lo.min(s.t0);
@@ -344,7 +359,7 @@ impl Profiler {
             let mut iv: Vec<(f64, f64)> = self
                 .spans
                 .iter()
-                .filter(|s| s.core == core && s.t1 > s.t0 && s.phase != Phase::Plan)
+                .filter(|s| s.core == core && s.t1 > s.t0 && !s.phase.is_host_side())
                 .map(|s| (s.t0, s.t1))
                 .collect();
             iv.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
@@ -401,6 +416,11 @@ pub struct PhaseProfile {
     pub plan_misses: u64,
     /// Plan-cache evictions over the owning context's lifetime.
     pub plan_evictions: u64,
+    /// Plan-cache hits served from a loaded plan catalog (filled by the
+    /// executor; zero when no catalog is attached).
+    pub catalog_hits: u64,
+    /// Plan lookups that missed the loaded plan catalog.
+    pub catalog_misses: u64,
     /// Spans aggregated.
     pub spans: u64,
     /// Events recorded.
@@ -417,11 +437,11 @@ impl PhaseProfile {
     }
 
     /// Sum of exclusive per-phase *device* seconds (= cluster busy time;
-    /// host-side [`Phase::Plan`] time is excluded).
+    /// host-side [`Phase::Plan`]/[`Phase::Tune`] time is excluded).
     pub fn busy_s(&self) -> f64 {
         Phase::ALL
             .into_iter()
-            .filter(|p| *p != Phase::Plan)
+            .filter(|p| !p.is_host_side())
             .map(|p| self.phase_seconds(p))
             .sum()
     }
@@ -429,6 +449,11 @@ impl PhaseProfile {
     /// Host seconds spent planning (the [`Phase::Plan`] tally).
     pub fn planning_s(&self) -> f64 {
         self.phase_seconds(Phase::Plan)
+    }
+
+    /// Host seconds spent autotuning (the [`Phase::Tune`] tally).
+    pub fn tuning_s(&self) -> f64 {
+        self.phase_seconds(Phase::Tune)
     }
 
     /// DMA/compute overlap as a fraction of the profiled window, in
@@ -524,6 +549,23 @@ mod tests {
         assert_eq!(prof.total_s, 0.0);
         assert!((prof.planning_s() - 0.25).abs() < 1e-12);
         assert_eq!(prof.busy_s(), 0.0);
+    }
+
+    #[test]
+    fn tune_spans_are_host_side_like_plan_spans() {
+        let mut p = Profiler::enabled(16);
+        p.record(span(Phase::Compute, 0, 0.0, 2.0));
+        // Host autotuning time far outside the device window: tallied
+        // under `tune` without stretching total_s, counting as device
+        // busy time, or touching core occupancy.
+        p.record(span(Phase::Tune, 0, 50.0, 53.0));
+        let prof = p.aggregate();
+        assert!((prof.total_s - 2.0).abs() < 1e-12);
+        assert!((prof.tuning_s() - 3.0).abs() < 1e-12);
+        assert!((prof.busy_s() - 2.0).abs() < 1e-12);
+        assert!((prof.core_busy_s[0] - 2.0).abs() < 1e-12);
+        assert!(Phase::Tune.is_host_side() && Phase::Plan.is_host_side());
+        assert!(!Phase::Compute.is_host_side());
     }
 
     #[test]

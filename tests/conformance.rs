@@ -4,7 +4,7 @@
 
 use conformance::{replay_dir, run_fuzz, verify_kernel};
 use dspsim::HwConfig;
-use ftimm::FtImm;
+use ftimm::{FtImm, GemmShape, Strategy};
 use kernelgen::KernelSpec;
 use std::path::Path;
 
@@ -51,6 +51,43 @@ fn seeded_fuzz_sweep_is_mismatch_free() {
             .join("\n")
     );
     assert!(summary.regime_counts.iter().all(|&c| c == 4));
+}
+
+/// The committed plan-catalog fixture (emitted by the `tune` bench
+/// binary) must load clean and serve all four Table I–III regimes —
+/// type-1 tall-skinny, type-2 short-wide, type-3 large-square and the
+/// regular control shape — with *zero* timing simulations: every plan
+/// comes from a catalog hit, none from the planner.
+#[test]
+fn plan_catalog_fixture_replays_simulation_free() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/plan-catalog.json");
+    let load = ftimm::load_catalog(&path).unwrap();
+    assert_eq!(load.quarantined, 0, "fixture has corrupt entries");
+    assert_eq!(load.catalog.entries.len(), 4, "fixture must cover 4 shapes");
+    assert!(!load.catalog.records.is_empty(), "fixture lost its records");
+
+    let warm = FtImm::with_plan_catalog(HwConfig::default(), &path).unwrap();
+    // The Table I–III shapes the tune binary catalogs (same list as
+    // `bench::planner::SHAPES`; this package cannot depend on bench).
+    for (m, n, k) in [
+        (1 << 16, 32, 32),
+        (32, 32, 1 << 16),
+        (20480, 32, 20480),
+        (4096, 512, 4096),
+    ] {
+        let shape = GemmShape::new(m, n, k);
+        let plan = warm.plan_full(&shape, Strategy::Auto, 8);
+        assert_eq!(plan.shape, shape);
+        assert_eq!(plan.origin, ftimm::PlanOrigin::Tuned, "{shape}");
+    }
+    assert_eq!(
+        warm.timing_simulations(),
+        0,
+        "catalog replay must not consult the timing model"
+    );
+    let stats = warm.tuning_stats();
+    assert_eq!(stats.catalog_hits, 4);
+    assert_eq!(stats.catalog_misses, 0);
 }
 
 /// The static verifier passes every micro-kernel spec the generator

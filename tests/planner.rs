@@ -5,7 +5,21 @@
 use conformance::{Regime, Rng64};
 use dspsim::{ExecMode, HwConfig, Machine};
 use ftimm::reference::fill_matrix;
-use ftimm::{analytic_seconds, FtImm, GemmProblem, GemmShape, Planner, Strategy};
+use ftimm::{
+    analytic_seconds, FtImm, GemmProblem, GemmShape, PlanOrigin, Planner, Strategy, TuneConfig,
+};
+
+/// A cheap tuning budget for integration tests: enough to exercise the
+/// variant ladder on every regime without the full default budget.
+fn test_tune_config() -> TuneConfig {
+    TuneConfig {
+        max_simulations: 8,
+        random_probes: 2,
+        neighborhood: 2,
+        explore: false,
+        ..TuneConfig::default()
+    }
+}
 
 fn staged(machine: &mut Machine, shape: &GemmShape) -> GemmProblem {
     let (m, n, k) = (shape.m, shape.n, shape.k);
@@ -102,6 +116,98 @@ fn analytic_ranking_agrees_with_the_timing_model_on_fig5_extremes() {
             "{shape}: analytic ({analytic_mpar}, {analytic_kpar}) vs \
              timing ({timing_mpar}, {timing_kpar})"
         );
+    }
+}
+
+#[test]
+fn tuning_is_deterministic_under_a_fixed_seed() {
+    let mut rng = Rng64::new(0x7E5EED);
+    for regime in Regime::ALL {
+        let shape = regime.sample(&mut rng);
+        let cfg = test_tune_config();
+        let a = FtImm::new(HwConfig::default()).tune(&shape, 8, &cfg);
+        let b = FtImm::new(HwConfig::default()).tune(&shape, 8, &cfg);
+        assert_eq!(a.plan, b.plan, "{regime} {shape}: tuned plan diverged");
+        assert_eq!(a.default_plan, b.default_plan, "{regime} {shape}");
+        assert_eq!(a.variants, b.variants, "{regime} {shape}");
+        assert_eq!(a.simulations, b.simulations, "{regime} {shape}");
+        assert_eq!(a.plan.origin, PlanOrigin::Tuned, "{regime} {shape}");
+        assert!(
+            a.plan.simulated_s <= a.default_plan.simulated_s,
+            "{regime} {shape}: tuned plan predicted slower than default"
+        );
+    }
+}
+
+#[test]
+fn catalog_warm_start_plans_every_regime_with_zero_simulations() {
+    let ft = FtImm::new(HwConfig::default());
+    let mut rng = Rng64::new(0xCA7A106);
+    let shapes: Vec<GemmShape> = Regime::ALL.iter().map(|r| r.sample(&mut rng)).collect();
+    let tuned: Vec<_> = shapes
+        .iter()
+        .map(|s| ft.tune(s, 8, &test_tune_config()).plan)
+        .collect();
+    let path = std::env::temp_dir().join(format!(
+        "ftimm-planner-warm-start-{}.json",
+        std::process::id()
+    ));
+    ft.save_plan_catalog(&path).unwrap();
+
+    // A fresh process (modelled by a fresh context) loads the catalog
+    // and serves every regime's tuned plan without ever touching the
+    // timing model.
+    let warm = FtImm::with_plan_catalog(HwConfig::default(), &path).unwrap();
+    for (shape, plan) in shapes.iter().zip(&tuned) {
+        assert_eq!(&warm.plan_full(shape, Strategy::Auto, 8), plan, "{shape}");
+    }
+    assert_eq!(warm.timing_simulations(), 0, "warm start must not simulate");
+    let stats = warm.tuning_stats();
+    assert_eq!(stats.catalog_hits, shapes.len() as u64);
+    assert!(stats.catalog_attached);
+    assert_eq!(stats.quarantined, 0);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn tuned_plan_then_execute_matches_one_shot_in_every_regime() {
+    let mut rng = Rng64::new(0x7EB17);
+    for regime in Regime::ALL {
+        let shape = regime.sample(&mut rng);
+        let ft = FtImm::new(HwConfig::default());
+        let outcome = ft.tune(&shape, 8, &test_tune_config());
+
+        // Staged: execute the tuned plan's resolved strategy directly.
+        let mut m1 = Machine::with_mode(ExecMode::Fast);
+        let p1 = staged(&mut m1, &shape);
+        let r1 = ft
+            .run_plan(&mut m1, &p1, &outcome.plan.strategy, 8)
+            .unwrap();
+        let c1 = p1.c.download(&mut m1).unwrap();
+
+        // One-shot: `gemm` resolves through the plan cache, which the
+        // tune populated under the `Auto` key.
+        let mut m2 = Machine::with_mode(ExecMode::Fast);
+        let p2 = staged(&mut m2, &shape);
+        let (r2, used) = ft.gemm(&mut m2, &p2, Strategy::Auto, 8).unwrap();
+        let c2 = p2.c.download(&mut m2).unwrap();
+
+        assert_eq!(
+            used, outcome.plan,
+            "{regime}: one-shot did not pick up the tuned plan"
+        );
+        assert_eq!(
+            r1.seconds.to_bits(),
+            r2.seconds.to_bits(),
+            "{regime} {shape}: simulated time diverged"
+        );
+        for (i, (a, b)) in c1.iter().zip(&c2).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{regime} {shape}: element {i} diverged"
+            );
+        }
     }
 }
 

@@ -65,10 +65,10 @@ fn phase_profile_is_internally_consistent() {
     assert!(prof.total_s > 0.0 && prof.total_s <= seconds + 1e-12);
     // Phase attribution is exclusive: the per-device-phase sum is the
     // busy time, which cannot exceed the profiled window.  Host-side
-    // planning time sits outside the window entirely.
+    // time (planning, tuning) sits outside the window entirely.
     let busy: f64 = Phase::ALL
         .iter()
-        .filter(|&&p| p != Phase::Plan)
+        .filter(|&&p| !p.is_host_side())
         .map(|&p| prof.phase_seconds(p))
         .sum();
     assert!((busy - prof.busy_s()).abs() < 1e-12);
