@@ -94,12 +94,14 @@ impl Report {
     }
 }
 
-/// Parse a `--spill` flag value (`never`, `last-resort`, `deadline-aware`).
+/// Parse a `--spill` flag value (`never`, `last-resort`, `deadline-aware`,
+/// `coexec`).
 pub fn parse_spill(s: &str) -> Option<SpillPolicy> {
     match s {
         "never" => Some(SpillPolicy::Never),
         "last-resort" => Some(SpillPolicy::LastResort),
         "deadline-aware" => Some(SpillPolicy::DeadlineAware),
+        "coexec" => Some(SpillPolicy::CoExecute),
         _ => None,
     }
 }
@@ -417,6 +419,7 @@ mod tests {
         assert_eq!(parse_spill("never"), Some(Never));
         assert_eq!(parse_spill("last-resort"), Some(LastResort));
         assert_eq!(parse_spill("deadline-aware"), Some(DeadlineAware));
+        assert_eq!(parse_spill("coexec"), Some(CoExecute));
         assert_eq!(parse_spill("sometimes"), None);
     }
 }

@@ -1,0 +1,380 @@
+//! Co-execution report: the Fig. 7 CPU/DSP crossover as a live planner
+//! decision, on the Table I–III regimes.
+//!
+//! Each regime is costed and run against two host comparators — the
+//! default `cpublas` model (a host an order of magnitude below the
+//! cluster) and a fast host well past the crossover — so the sweep
+//! exhibits all three planner picks: DSP-only, a genuine mixed
+//! co-execution split, and CPU-only.  Per row the report carries the
+//! three predicted makespans from [`ftimm::choose_coexec_split`] (both
+//! backend cost models), the chosen M-tail fraction, and two *simulated*
+//! makespans from real [`ftimm::ShardedEngine`] runs: one under
+//! [`ftimm::SpillPolicy::Never`] (DSP-only baseline) and one under
+//! [`ftimm::SpillPolicy::CoExecute`] (the planned split actually
+//! dispatched, CPU lane as a peer from t = 0).
+//!
+//! The CI gate (`--assert-coexec-no-regression`) bounds the planner's
+//! core promise: the chosen split is never predicted slower than the
+//! best single backend — both degenerate candidates are always in the
+//! search grid, so any regression means the chooser itself broke.
+
+use crate::cluster::{CORES, MAX_CLUSTERS, REGIMES};
+use crate::common::format_table;
+use cpublas::CpuConfig;
+use dspsim::{ExecMode, HwConfig};
+use ftimm::{
+    ClusterPool, EngineConfig, FtImm, GemmShape, ResilienceConfig, ShardedConfig, ShardedEngine,
+    ShardedJob, ShardedOutcome, ShardedReport, SpillPolicy, Strategy, TenantSpec,
+};
+use std::fmt::Write as _;
+
+/// Checkpoint grain shared by the chooser and both engine runs (the
+/// split grid and the shard-boundary grid must be the same thing).
+const GRAIN: usize = 64;
+
+/// Which side of the crossover the planner landed on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pick {
+    /// `cpu_rows == 0`: the clusters keep everything.
+    DspOnly,
+    /// `0 < cpu_rows < m`: a genuine mixed split.
+    CoExec,
+    /// `cpu_rows == m`: the host takes the whole GEMM.
+    CpuOnly,
+}
+
+impl Pick {
+    /// Stable label used in the table and JSON document.
+    pub fn label(self) -> &'static str {
+        match self {
+            Pick::DspOnly => "dsp-only",
+            Pick::CoExec => "co-exec",
+            Pick::CpuOnly => "cpu-only",
+        }
+    }
+}
+
+/// One (regime, host comparator) measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct Row {
+    /// Regime label (`table1-type1`, …).
+    pub regime: &'static str,
+    /// Host comparator label (`default-host` / `fast-host`).
+    pub host: &'static str,
+    /// The shape run.
+    pub shape: GemmShape,
+    /// Rows of the M tail the planner gave the CPU lane.
+    pub cpu_rows: usize,
+    /// Predicted makespan of the chosen split.
+    pub predicted_s: f64,
+    /// Predicted makespan of the best all-DSP plan.
+    pub dsp_only_s: f64,
+    /// Predicted makespan of the whole GEMM on the host.
+    pub cpu_only_s: f64,
+    /// Simulated makespan of a real engine run under `Never`.
+    pub sim_dsp_only_s: f64,
+    /// Simulated makespan of a real engine run under `CoExecute`.
+    pub sim_coexec_s: f64,
+}
+
+impl Row {
+    /// The planner's pick for this row.
+    pub fn pick(&self) -> Pick {
+        if self.cpu_rows == 0 {
+            Pick::DspOnly
+        } else if self.cpu_rows == self.shape.m {
+            Pick::CpuOnly
+        } else {
+            Pick::CoExec
+        }
+    }
+
+    /// Fraction of M placed on the CPU lane.
+    pub fn split_frac(&self) -> f64 {
+        self.cpu_rows as f64 / self.shape.m as f64
+    }
+
+    /// How much slower than the best single backend the chosen split is
+    /// *predicted* to be (≤ 0 means it never regresses — the gate).
+    pub fn regression(&self) -> f64 {
+        self.predicted_s / self.dsp_only_s.min(self.cpu_only_s).max(1e-12) - 1.0
+    }
+}
+
+/// The whole report.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// One row per (regime, host comparator).
+    pub rows: Vec<Row>,
+}
+
+impl Report {
+    /// Worst predicted regression vs the best single backend across the
+    /// sweep — the quantity the CI gate bounds at ~0.
+    pub fn max_regression(&self) -> f64 {
+        self.rows.iter().map(Row::regression).fold(0.0, f64::max)
+    }
+
+    /// Whether every planner pick shows up somewhere in the sweep (the
+    /// crossover demonstrably has both sides plus the interior).
+    pub fn covers_all_picks(&self) -> bool {
+        [Pick::DspOnly, Pick::CoExec, Pick::CpuOnly]
+            .iter()
+            .all(|&p| self.rows.iter().any(|r| r.pick() == p))
+    }
+}
+
+/// The two host comparators: the default model sits below the Fig. 7
+/// crossover on the Table regimes, the fast host well past it.
+pub fn hosts() -> [(&'static str, CpuConfig); 2] {
+    [
+        ("default-host", CpuConfig::default()),
+        (
+            "fast-host",
+            CpuConfig {
+                clock_hz: 2.2e12,
+                ddr_bw: 42.6e12,
+                barrier_s: 8e-9,
+                ..CpuConfig::default()
+            },
+        ),
+    ]
+}
+
+fn cfg(spill: SpillPolicy, cpu: CpuConfig) -> ShardedConfig {
+    ShardedConfig {
+        engine: EngineConfig {
+            resilience: ResilienceConfig {
+                ckpt_rows: GRAIN,
+                ..ResilienceConfig::default()
+            },
+            ..EngineConfig::default()
+        },
+        spill,
+        cpu,
+        ..ShardedConfig::default()
+    }
+}
+
+fn run_completed(ft: &FtImm, eng: &mut ShardedEngine, shape: &GemmShape) -> Box<ShardedReport> {
+    let t = eng.register_tenant(TenantSpec::new("bench", 5));
+    eng.submit(
+        t,
+        ShardedJob::timing(shape.m, shape.n, shape.k, Strategy::Auto, CORES),
+    );
+    let mut records = eng.run_all(ft);
+    assert_eq!(records.len(), 1);
+    match records.remove(0).outcome {
+        ShardedOutcome::Completed { report, .. } => report,
+        other => panic!("{shape}: expected completion, got {}", other.label()),
+    }
+}
+
+fn measure(
+    ft: &FtImm,
+    regime: &'static str,
+    host: &'static str,
+    cpu: CpuConfig,
+    shape: GemmShape,
+) -> Row {
+    let choice = ftimm::choose_coexec_split(
+        ft,
+        &shape,
+        Strategy::Auto,
+        CORES,
+        MAX_CLUSTERS,
+        GRAIN,
+        &cpu,
+        1.0,
+    );
+
+    // Simulated DSP-only baseline: the same pool with the lane off.
+    let pool = ClusterPool::new(&HwConfig::default(), ExecMode::Timing, MAX_CLUSTERS);
+    let mut eng = ShardedEngine::new(pool, cfg(SpillPolicy::Never, cpu));
+    let dsp_run = run_completed(ft, &mut eng, &shape);
+
+    // Simulated co-execution: the planner's split actually dispatched.
+    let pool = ClusterPool::new(&HwConfig::default(), ExecMode::Timing, MAX_CLUSTERS);
+    let mut eng = ShardedEngine::new(pool, cfg(SpillPolicy::CoExecute, cpu));
+    let co_run = run_completed(ft, &mut eng, &shape);
+    if choice.cpu_rows > 0 {
+        assert!(
+            eng.cpu_dispatches() > 0,
+            "{shape}: planner placed a CPU tail but the lane never ran"
+        );
+    }
+
+    Row {
+        regime,
+        host,
+        shape,
+        cpu_rows: choice.cpu_rows,
+        predicted_s: choice.predicted_s,
+        dsp_only_s: choice.dsp_only_s,
+        cpu_only_s: choice.cpu_only_s,
+        sim_dsp_only_s: dsp_run.seconds,
+        sim_coexec_s: co_run.seconds,
+    }
+}
+
+/// Run the sweep: Table I–III regimes × host comparators.
+pub fn compute() -> Report {
+    let ft = FtImm::new(HwConfig::default());
+    let mut rows = Vec::new();
+    for (host, cpu) in hosts() {
+        for &(regime, (m, n, k)) in REGIMES.iter() {
+            rows.push(measure(&ft, regime, host, cpu, GemmShape::new(m, n, k)));
+        }
+    }
+    Report { rows }
+}
+
+/// Render the printable report.
+pub fn render(report: &Report) -> String {
+    let rows: Vec<Vec<String>> = report
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.regime.to_string(),
+                r.host.to_string(),
+                r.shape.to_string(),
+                r.pick().label().to_string(),
+                format!("{:.3}", r.split_frac()),
+                format!("{:.3e}", r.predicted_s),
+                format!("{:.3e}", r.dsp_only_s),
+                format!("{:.3e}", r.cpu_only_s),
+                format!("{:.3e}", r.sim_dsp_only_s),
+                format!("{:.3e}", r.sim_coexec_s),
+            ]
+        })
+        .collect();
+    let mut s = format_table(
+        "Co-execution — the Fig. 7 crossover as a planner decision (CPU lane as a peer)",
+        &[
+            "regime",
+            "host",
+            "MxNxK",
+            "pick",
+            "cpu frac",
+            "predicted",
+            "dsp-only",
+            "cpu-only",
+            "sim dsp",
+            "sim coexec",
+        ],
+        &rows,
+    );
+    let _ = writeln!(
+        s,
+        "max predicted regression vs best single backend: {:+.2e} (gate: <= 0)",
+        report.max_regression()
+    );
+    s
+}
+
+/// Serialise the report as the `BENCH_coexec.json` document.
+pub fn render_json(report: &Report) -> String {
+    let mut s = String::from("{\n  \"schema\": \"ftimm-bench-coexec-v1\",\n  \"rows\": [\n");
+    for (i, r) in report.rows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"regime\": \"{}\", \"host\": \"{}\", \"m\": {}, \"n\": {}, \"k\": {}, \
+             \"pick\": \"{}\", \"cpu_rows\": {}, \"split_frac\": {:?}, \
+             \"predicted_s\": {:?}, \"dsp_only_s\": {:?}, \"cpu_only_s\": {:?}, \
+             \"sim_dsp_only_s\": {:?}, \"sim_coexec_s\": {:?}}}",
+            r.regime,
+            r.host,
+            r.shape.m,
+            r.shape.n,
+            r.shape.k,
+            r.pick().label(),
+            r.cpu_rows,
+            r.split_frac(),
+            r.predicted_s,
+            r.dsp_only_s,
+            r.cpu_only_s,
+            r.sim_dsp_only_s,
+            r.sim_coexec_s,
+        );
+        s.push_str(if i + 1 < report.rows.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    let _ = writeln!(s, "  ],");
+    let _ = writeln!(s, "  \"max_regression\": {:?},", report.max_regression());
+    let _ = writeln!(s, "  \"covers_all_picks\": {}", report.covers_all_picks());
+    s.push('}');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    fn cached() -> &'static Report {
+        static P: OnceLock<Report> = OnceLock::new();
+        P.get_or_init(compute)
+    }
+
+    #[test]
+    fn sweep_covers_every_planner_pick() {
+        let report = cached();
+        assert_eq!(report.rows.len(), REGIMES.len() * hosts().len());
+        assert!(
+            report.covers_all_picks(),
+            "picks: {:?}",
+            report
+                .rows
+                .iter()
+                .map(|r| (r.regime, r.host, r.pick().label()))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn chosen_split_never_predicted_slower_than_best_single_backend() {
+        // Both degenerate candidates are always searched, so the gate
+        // quantity is exactly zero unless the chooser regresses.
+        let report = cached();
+        assert!(
+            report.max_regression() <= 0.0,
+            "max regression {:+.2e}",
+            report.max_regression()
+        );
+    }
+
+    #[test]
+    fn mixed_splits_sit_on_the_grid_and_beat_the_dsp_baseline() {
+        for r in &cached().rows {
+            if r.pick() == Pick::CoExec {
+                assert_eq!((r.shape.m - r.cpu_rows) % GRAIN, 0, "{}", r.regime);
+                assert!(
+                    r.sim_coexec_s < r.sim_dsp_only_s,
+                    "{} {}: co-exec simulated {} vs dsp-only {}",
+                    r.regime,
+                    r.host,
+                    r.sim_coexec_s,
+                    r.sim_dsp_only_s
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn json_document_carries_rows_and_the_gate_quantity() {
+        let s = render_json(cached());
+        assert!(s.contains("ftimm-bench-coexec-v1"));
+        assert!(s.contains("max_regression"));
+        assert!(s.contains("\"covers_all_picks\": true"));
+        for (regime, _) in REGIMES {
+            assert!(s.contains(regime));
+        }
+        for pick in ["dsp-only", "co-exec", "cpu-only"] {
+            assert!(s.contains(pick), "missing pick {pick}");
+        }
+    }
+}

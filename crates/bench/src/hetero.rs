@@ -9,8 +9,11 @@
 //! resumes on the CPU lane.  The lane charges simulated time from the
 //! `cpublas` analytic model, so the CI gate cross-checks the measured
 //! lane occupancy against an *independent* prediction of the spilled
-//! stripe: `BENCH_hetero.json`'s `--assert-cpu-model` bound fails the
-//! build when they drift apart (default tolerance ±30%).
+//! stripe, computed through the same [`ftimm::predict_cpu_stripe`]
+//! helper the co-execution planner consults (one call site for the CPU
+//! model, so the gate and the planner cannot drift apart):
+//! `BENCH_hetero.json`'s `--assert-cpu-model` bound fails the build
+//! when they diverge (default tolerance ±30%).
 
 use crate::cluster::{CORES, REGIMES};
 use crate::common::format_table;
@@ -130,7 +133,8 @@ fn measure(ft: &FtImm, regime: &'static str, shape: GemmShape) -> Row {
     assert!(rows_spilled > 0, "{shape}: nothing reached the CPU lane");
     // The independent prediction: what the analytic model says the
     // spilled stripe costs on the comparator CPU.
-    let model_cpu_s = cpublas::predict(&cfg().cpu, rows_spilled, shape.n, shape.k).seconds;
+    let model_cpu_s =
+        ftimm::predict_cpu_stripe(&cfg().cpu, rows_spilled, shape.n, shape.k, 1.0).seconds;
     Row {
         regime,
         shape,

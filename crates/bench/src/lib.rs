@@ -11,6 +11,7 @@
 
 pub mod ablation;
 pub mod cluster;
+pub mod coexec;
 pub mod common;
 pub mod fig3;
 pub mod fig4;

@@ -53,6 +53,14 @@
 //!   only adopts [`ftimm::BitSignature`]-equal variants), and a fresh
 //!   context warm-started from the catalog serves the plan with zero
 //!   timing simulations.
+//! * [`OracleKind::CoexecEquivalence`] — the co-execution contract: a
+//!   sharded run under [`ftimm::SpillPolicy::CoExecute`] (CPU lane
+//!   dispatched as a planned peer, split chosen by
+//!   [`ftimm::choose_coexec_split`] from both backend cost models) is
+//!   bitwise identical to the fault-free single-cluster checkpointed
+//!   oracle, the co-execution planner is deterministic, the chosen split
+//!   is never predicted slower than the best single backend, and a plan
+//!   that placed a CPU shard actually dispatches the lane.
 //!
 //! Every case additionally runs the [`crate::verifier`] lint pass over
 //! each micro-kernel its plan pulls from the cache.
@@ -100,11 +108,15 @@ pub enum OracleKind {
     /// tuned-plan execution ≡ default-plan execution (bitwise), and a
     /// catalog warm start plans with zero simulations.
     TunedPlanEquivalence,
+    /// Co-executed run (planned CPU peer) ≡ single-cluster, bitwise;
+    /// co-execution planning deterministic and never predicted slower
+    /// than the best single backend.
+    CoexecEquivalence,
 }
 
 impl OracleKind {
     /// All oracles, in round-robin scheduling order.
-    pub const ALL: [OracleKind; 12] = [
+    pub const ALL: [OracleKind; 13] = [
         OracleKind::Reference,
         OracleKind::ModeEquivalence,
         OracleKind::CompiledEquivalence,
@@ -117,6 +129,7 @@ impl OracleKind {
         OracleKind::ShardFailover,
         OracleKind::CpuFailover,
         OracleKind::TunedPlanEquivalence,
+        OracleKind::CoexecEquivalence,
     ];
 
     /// Stable tag used in fixtures.
@@ -134,6 +147,7 @@ impl OracleKind {
             OracleKind::ShardFailover => "shard-failover",
             OracleKind::CpuFailover => "cpu-failover",
             OracleKind::TunedPlanEquivalence => "tuned-plan-equivalence",
+            OracleKind::CoexecEquivalence => "coexec-equivalence",
         }
     }
 
@@ -283,9 +297,9 @@ pub fn generate_case(run_seed: u64, case_index: u64) -> CaseSpec {
     let regime = Regime::ALL[(case_index % 4) as usize];
     // The oracle index drifts by three every full regime rotation so no
     // oracle gets pinned to a small set of regimes.  The effective step
-    // per rotation is 4 + 3 = 7, coprime to the oracle count (12), so
-    // every (regime, oracle) pair is visited within 12 regime rotations
-    // = 48 iterations — a drift of one would make the step 5 and
+    // per rotation is 4 + 3 = 7, coprime to the oracle count (13), so
+    // every (regime, oracle) pair is visited within 13 regime rotations
+    // = 52 iterations — a drift of one would make the step 5 and
     // pin each regime to a strict subset of oracles forever.  Any oracle
     // added to [`OracleKind::ALL`] must keep its length coprime with 7
     // (guarded by `oracle_schedule_covers_every_oracle_regime_pairing`).
@@ -1115,6 +1129,159 @@ pub fn check_case(ft: &FtImm, case: &CaseSpec) -> Result<(), Mismatch> {
                 .map_err(|e| mismatch(case, format!("download failed: {e}")))?;
             compare_bitwise(case, "tuned plan vs default plan", &c1, &c2)
         }
+        OracleKind::CoexecEquivalence => {
+            let (m, n, k) = (case.shape.m, case.shape.n, case.shape.k);
+
+            // The same checkpointed single-cluster bitwise oracle the
+            // failover oracles use: a co-executed CPU tail replays the
+            // identical pinned plan and ckpt grid through the host
+            // mirror, so backend identity is exactly cluster identity.
+            let rcfg = ResilienceConfig {
+                ckpt_rows: 4,
+                ..ResilienceConfig::default()
+            };
+            let mut machine = Machine::with_mode(ExecMode::Fast);
+            let staged = stage(&mut machine, &case.shape, case.seed, false)
+                .map_err(|e| mismatch(case, format!("staging failed: {e}")))?;
+            let pinned = ft.plan_full(&case.shape, case.strategy, case.cores);
+            ft.run_plan_resilient(
+                &mut machine,
+                &staged.problem,
+                &pinned.strategy,
+                case.cores,
+                &rcfg,
+            )
+            .map_err(|e| mismatch(case, format!("oracle run failed: {e}")))?;
+            let want = staged
+                .problem
+                .c
+                .download(&mut machine)
+                .map_err(|e| mismatch(case, format!("oracle download failed: {e}")))?;
+
+            // A deterministic per-case CPU model: host speeds spanning
+            // the Fig. 7 crossover, so over a sweep the planner's pick
+            // covers DSP-only, mixed and all-CPU splits.
+            let mut rng = Rng64::new(case.seed);
+            let cpu = match rng.range(0, 2) {
+                0 => cpublas::CpuConfig::default(),
+                1 => cpublas::CpuConfig {
+                    clock_hz: 8.8e9,
+                    ..cpublas::CpuConfig::default()
+                },
+                _ => cpublas::CpuConfig {
+                    clock_hz: 2.2e12,
+                    ddr_bw: 42.6e12,
+                    barrier_s: 8e-9,
+                    ..cpublas::CpuConfig::default()
+                },
+            };
+
+            // The co-execution planner is deterministic, and its chosen
+            // split is never predicted slower than the best single
+            // backend (both degenerate candidates are always searched).
+            let splan = ftimm::plan_coexec(
+                ft,
+                &case.shape,
+                case.strategy,
+                case.cores,
+                &[0, 1],
+                4,
+                &cpu,
+                1.0,
+            );
+            let replay = ftimm::plan_coexec(
+                ft,
+                &case.shape,
+                case.strategy,
+                case.cores,
+                &[0, 1],
+                4,
+                &cpu,
+                1.0,
+            );
+            if splan != replay {
+                return Err(mismatch(
+                    case,
+                    format!("co-execution planning not deterministic: {splan:?} vs {replay:?}"),
+                ));
+            }
+            let choice = ftimm::choose_coexec_split(
+                ft,
+                &case.shape,
+                case.strategy,
+                case.cores,
+                2,
+                4,
+                &cpu,
+                1.0,
+            );
+            if choice.predicted_s > choice.dsp_only_s || choice.predicted_s > choice.cpu_only_s {
+                return Err(mismatch(
+                    case,
+                    format!("chosen split predicted slower than a single backend: {choice:?}"),
+                ));
+            }
+
+            let cfg = ShardedConfig {
+                engine: EngineConfig {
+                    resilience: rcfg,
+                    ..EngineConfig::default()
+                },
+                spill: SpillPolicy::CoExecute,
+                cpu,
+                ..ShardedConfig::default()
+            };
+            let mut eng = ShardedEngine::new(
+                ClusterPool::new(&HwConfig::default(), ExecMode::Fast, 2),
+                cfg,
+            );
+            let t = eng.register_tenant(TenantSpec::new("fuzz", 1));
+            eng.submit(
+                t,
+                ShardedJob::gemm(
+                    m,
+                    n,
+                    k,
+                    staged.a.clone(),
+                    staged.b.clone(),
+                    staged.c0.clone(),
+                    case.strategy,
+                    case.cores,
+                ),
+            );
+            let mut records = eng.run_all(ft);
+            if records.len() != 1 {
+                return Err(mismatch(
+                    case,
+                    format!("expected 1 terminal record, got {}", records.len()),
+                ));
+            }
+            match records.remove(0).outcome {
+                ShardedOutcome::Completed { c, report } => {
+                    if !report.failovers.is_empty() {
+                        return Err(mismatch(
+                            case,
+                            "fault-free co-executed run recorded a failover",
+                        ));
+                    }
+                    let planned_cpu = splan
+                        .shards
+                        .iter()
+                        .any(|s| s.backend == dspsim::BackendKind::Cpu);
+                    if planned_cpu && eng.cpu_dispatches() == 0 {
+                        return Err(mismatch(
+                            case,
+                            "plan placed a CPU shard but the lane never dispatched",
+                        ));
+                    }
+                    compare_bitwise(case, "coexec vs single-cluster", &c, &want)
+                }
+                other => Err(mismatch(
+                    case,
+                    format!("co-executed run not completed: {}", other.label()),
+                )),
+            }
+        }
     }
 }
 
@@ -1128,7 +1295,7 @@ pub struct FuzzSummary {
     /// Cases executed per regime, indexed parallel to [`Regime::ALL`].
     pub regime_counts: [usize; 4],
     /// Cases executed per oracle, indexed parallel to [`OracleKind::ALL`].
-    pub oracle_counts: [usize; 12],
+    pub oracle_counts: [usize; 13],
     /// Shrunk mismatches, in discovery order.
     pub mismatches: Vec<Mismatch>,
 }
@@ -1262,10 +1429,10 @@ mod tests {
     #[test]
     fn oracle_schedule_covers_every_oracle_regime_pairing() {
         let mut pairs = std::collections::HashSet::new();
-        // Full coverage needs 12 regime rotations (48 iterations) for the
-        // 12 oracles; run four cycles for slack against future growth of
+        // Full coverage needs 13 regime rotations (52 iterations) for the
+        // 13 oracles; run four cycles for slack against future growth of
         // either axis.
-        for i in 0..192 {
+        for i in 0..208 {
             let c = generate_case(7, i);
             let o = OracleKind::ALL.iter().position(|&x| x == c.oracle).unwrap();
             pairs.insert((o, (i % 4) as usize));
@@ -1275,7 +1442,7 @@ mod tests {
             OracleKind::ALL.len() * 4,
             "schedule must visit every (oracle, regime) pair"
         );
-        assert_eq!(OracleKind::ALL.len() * 4, 48);
+        assert_eq!(OracleKind::ALL.len() * 4, 52);
         // The drift formula only mixes when the effective step (7) stays
         // coprime to the oracle count — guard the invariant explicitly.
         let gcd = |mut a: usize, mut b: usize| {

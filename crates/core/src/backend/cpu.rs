@@ -136,6 +136,14 @@ impl CpuBackend {
         &self.cfg
     }
 
+    /// The compounded lane-health slowdown factor charged per dispatch
+    /// (1.0 until a [`FaultPlan::cpu_slowdown`] is installed).  The
+    /// co-execution planner reads this so a degraded lane is split
+    /// against honestly.
+    pub fn slowdown(&self) -> f64 {
+        self.slowdown
+    }
+
     /// Arm the CPU-lane faults of `plan`: slowdowns compound
     /// multiplicatively into the charged time; each `fail_cpu(nth)`
     /// kills the nth span ever run on this backend.
@@ -216,7 +224,7 @@ impl CpuBackend {
         }
         // One model evaluation per dispatch, distributed pro-rata by
         // rows across the checkpoint spans.
-        let total_s = cpublas::predict(&self.cfg, rows, n, k).seconds * self.slowdown;
+        let total_s = super::predict_cpu_stripe(&self.cfg, rows, n, k, self.slowdown).seconds;
         let per_row_s = total_s / rows as f64;
         let spans = ckpt_spans(rows, ckpt_rows);
         let mut rows_verified = 0usize;

@@ -22,9 +22,19 @@
 //!   [`cpu`] for the fault and deadline model.
 //!
 //! The sharded engine ([`crate::cluster::ShardedEngine`]) uses the CPU
-//! backend as the *last fault domain*: when every cluster is dead or
-//! unusable, shards spill to the CPU instead of being shed (gated by
+//! backend in two roles: as a planned *peer* under
+//! [`crate::cluster::SpillPolicy::CoExecute`] (the co-execution planner
+//! in [`crate::plan::plan_coexec`] places an M-stripe tail on the CPU
+//! when both cost models say the split wins), and as the *last fault
+//! domain* — when every cluster is dead or unusable, shards spill to
+//! the CPU instead of being shed (gated by
 //! [`crate::cluster::SpillPolicy`]).  See DESIGN.md §4.4.
+//!
+//! Every consumer of the CPU cost model — the [`Backend`] impl, the
+//! stripe executor's time charge, the co-execution split chooser and the
+//! bench fig7/hetero gates — routes through [`predict_cpu_stripe`], so
+//! the ±30% `--assert-cpu-model` gate and the planner can never drift
+//! apart.
 
 pub mod cpu;
 pub(crate) mod host;
@@ -43,6 +53,37 @@ pub struct BackendPrediction {
     pub flops_per_s: f64,
     /// Efficiency against the backend's own peak.
     pub efficiency: f64,
+}
+
+/// The one shared evaluation of the CPU cost model: predict a
+/// `m × n × k` GEMM stripe on the host described by `cfg`, scaled by a
+/// lane-health `slowdown` factor (1.0 = nominal).  Everything that
+/// consults the CPU model — [`CpuBackend`]'s [`Backend::predict`] and
+/// per-dispatch time charge, the co-execution split chooser
+/// ([`crate::plan::choose_coexec_split`]) and the bench CPU-model gates —
+/// calls this, so a change to the slowdown or derivation arithmetic can
+/// never leave one call site behind.
+///
+/// `flops_per_s` and `efficiency` are derived from the *scaled* seconds,
+/// so a degraded lane honestly reports degraded throughput.  Panics if
+/// any dimension is zero (as [`cpublas::predict`] does): callers decide
+/// what an empty stripe means.
+pub fn predict_cpu_stripe(
+    cfg: &cpublas::CpuConfig,
+    m: usize,
+    n: usize,
+    k: usize,
+    slowdown: f64,
+) -> BackendPrediction {
+    let p = cpublas::predict(cfg, m, n, k);
+    let seconds = p.seconds * slowdown;
+    let flops = 2.0 * m as f64 * n as f64 * k as f64;
+    let flops_per_s = if seconds > 0.0 { flops / seconds } else { 0.0 };
+    BackendPrediction {
+        seconds,
+        flops_per_s,
+        efficiency: flops_per_s / cfg.peak_flops(),
+    }
 }
 
 /// A compute device that can be asked who it is, how fast it could ever
@@ -121,12 +162,11 @@ impl Backend for CpuBackend {
     }
 
     fn predict(&self, shape: &GemmShape) -> BackendPrediction {
-        let p = cpublas::predict(self.cpu_cfg(), shape.m, shape.n, shape.k);
-        BackendPrediction {
-            seconds: p.seconds,
-            flops_per_s: p.flops_per_s,
-            efficiency: p.efficiency,
-        }
+        // The trait prediction is the *nominal* model (slowdown 1.0):
+        // placement comparisons and the bench gates reason about the
+        // healthy device; lane-health scaling is the dispatcher's
+        // business (see [`CpuBackend::run_stripe`]).
+        predict_cpu_stripe(self.cpu_cfg(), shape.m, shape.n, shape.k, 1.0)
     }
 }
 

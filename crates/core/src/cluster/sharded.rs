@@ -37,7 +37,7 @@ use super::tenant::{TenantId, TenantSpec, TenantTable};
 use crate::backend::{Backend as _, CpuBackend, CpuLaneOutcome, CpuStripeRun};
 use crate::engine::{BreakerState, CircuitBreaker, EngineConfig, JobId};
 use crate::grid::LAUNCH_OVERHEAD_S;
-use crate::plan::sharded::{plan_sharded, Shard, ShardedPlan};
+use crate::plan::sharded::{plan_coexec, plan_sharded, Shard, ShardOrigin, ShardedPlan};
 use crate::plan::Plan;
 use crate::{
     ChosenStrategy, ExecRun, Executor, FtImm, FtimmError, GemmProblem, GemmShape, Strategy,
@@ -52,16 +52,19 @@ use std::collections::VecDeque;
 /// a pool position).
 pub const CPU_LANE: usize = usize::MAX;
 
-/// When the sharded engine may spill work to the host CPU backend — the
-/// last fault domain after every cluster is dead or unusable.
+/// When the sharded engine may route work to the host CPU backend —
+/// either as a planned co-execution peer, or as the last fault domain
+/// after every cluster is dead or unusable.
 ///
 /// The CPU lane runs the *pinned* plan through the host mirror of the
-/// DSP blocking walk ([`crate::backend::CpuBackend`]), so spilled output
-/// stays bitwise identical to an all-DSP run; the policy only decides
-/// *whether* the lane may be used, never *how* results differ.  A CPU
-/// circuit breaker additionally gates the lane regardless of policy:
-/// repeated transient CPU faults open it and spills fail fast until the
-/// cooldown half-opens it again.
+/// DSP blocking walk ([`crate::backend::CpuBackend`]), so CPU-lane
+/// output stays bitwise identical to an all-DSP run; the policy only
+/// decides *whether* the lane may be used, never *how* results differ.
+/// A CPU circuit breaker additionally gates the lane regardless of
+/// policy: repeated transient CPU faults open it and CPU routing fails
+/// fast until the cooldown half-opens it again (under [`CoExecute`](
+/// SpillPolicy::CoExecute) an open breaker demotes plans back to
+/// DSP-only).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub enum SpillPolicy {
     /// Never touch the CPU lane: jobs with no usable cluster fail or
@@ -77,6 +80,14 @@ pub enum SpillPolicy {
     /// dispatched to the CPU up front when the CPU model says the
     /// deadline is meetable there.
     DeadlineAware,
+    /// Everything `LastResort` does, plus planned co-execution: jobs
+    /// are placed by [`crate::plan::plan_coexec`], which may emit a
+    /// CPU M-tail shard dispatched as a *peer* of the cluster shards
+    /// from job start (the Fig. 7 crossover as a live decision).  A
+    /// transient CPU fault demotes the co-executed remainder back to
+    /// the DSP pool in-job, and an open CPU breaker demotes subsequent
+    /// plans to DSP-only until the cooldown re-admits the lane.
+    CoExecute,
 }
 
 /// Tuning knobs for the sharded engine.
@@ -426,6 +437,17 @@ impl ShardedEngine {
         p
     }
 
+    /// Drain everything recorded while [`ShardedConfig::profile`] was on
+    /// into one heterogeneous Chrome trace: one process per cluster plus
+    /// the CPU lane's process.  Under co-execution the CPU process shows
+    /// compute spans from `t = 0` — the lane is a peer, not an
+    /// afterthought appended to the cluster timeline.
+    pub fn chrome_trace(&mut self) -> String {
+        let clusters = self.take_profilers();
+        let cpu = self.take_cpu_profiler();
+        crate::exec::chrome_trace_json_hetero(&clusters, &cpu)
+    }
+
     /// Drain the queue: run every queued job to a terminal outcome and
     /// return all records (including submit-time rejections) in id
     /// order.
@@ -588,14 +610,32 @@ impl ShardedEngine {
             return out;
         }
         let deadline = self.effective_deadline(tenant, &job);
-        let splan = plan_sharded(
-            ft,
-            &shape,
-            job.strategy,
-            job.cores,
-            &self.pool.placement(),
-            self.cfg.engine.resilience.ckpt_rows,
-        );
+        // Under CoExecute the co-execution planner decides the CPU/DSP
+        // split from both cost models; a tripped CPU breaker (or any
+        // other policy) keeps planning DSP-only — the cross-job
+        // demotion path.
+        let placement = self.pool.placement();
+        let splan = if self.cfg.spill == SpillPolicy::CoExecute && self.spill_admits() {
+            plan_coexec(
+                ft,
+                &shape,
+                job.strategy,
+                job.cores,
+                &placement,
+                self.cfg.engine.resilience.ckpt_rows,
+                &self.cfg.cpu,
+                self.cpu.slowdown(),
+            )
+        } else {
+            plan_sharded(
+                ft,
+                &shape,
+                job.strategy,
+                job.cores,
+                &placement,
+                self.cfg.engine.resilience.ckpt_rows,
+            )
+        };
         // Deadline-pressure routing: when the DSP cost model says the
         // deadline is unmeetable but the CPU model says it is, dispatch
         // the whole job to the CPU lane up front.
@@ -611,7 +651,12 @@ impl ShardedEngine {
         let mut shard_runs = Vec::new();
         let mut failovers = Vec::new();
         let mut busy = vec![0.0f64; self.pool.len()];
-        let mut cpu_busy = 0.0f64;
+        // Planned CPU shards run concurrently with the clusters (their
+        // lane has the work from t=0); failover CPU shards only exist
+        // because a cluster died, so their time serialises after the
+        // cluster timeline.
+        let mut cpu_peer_busy = 0.0f64;
+        let mut cpu_serial_busy = 0.0f64;
         let mut launches = 0usize;
         let mut rows_done = 0usize;
 
@@ -632,6 +677,7 @@ impl ShardedEngine {
                     });
                     shard.cluster = CPU_LANE;
                     shard.backend = BackendKind::Cpu;
+                    shard.origin = ShardOrigin::Failover;
                 } else {
                     return ShardedOutcome::Failed {
                         error: FtimmError::Invalid(
@@ -640,7 +686,6 @@ impl ShardedEngine {
                     };
                 }
             }
-            launches += 1;
             if shard.backend == BackendKind::Cpu {
                 let run = match self.run_cpu_stripe(
                     ft,
@@ -653,7 +698,16 @@ impl ShardedEngine {
                     Ok(run) => run,
                     Err(error) => return ShardedOutcome::Failed { error },
                 };
-                cpu_busy += run.seconds;
+                if shard.origin == ShardOrigin::Planned {
+                    // A planned peer pays its own dispatch on its own
+                    // timeline — the same convention the co-execution
+                    // cost model uses — so the launch overlaps the
+                    // cluster timeline instead of serialising into it.
+                    cpu_peer_busy += run.seconds + LAUNCH_OVERHEAD_S;
+                } else {
+                    launches += 1;
+                    cpu_serial_busy += run.seconds;
+                }
                 shard_runs.push(ShardRun {
                     cluster: CPU_LANE,
                     backend: BackendKind::Cpu,
@@ -667,6 +721,38 @@ impl ShardedEngine {
                         continue;
                     }
                     CpuLaneOutcome::Fault { nth } => {
+                        // A co-executed shard has somewhere to go: demote
+                        // the unverified remainder back to the DSP pool
+                        // (same shard representation, origin now
+                        // Failover) and record the fault so repeats trip
+                        // the breaker and stop co-execution cross-job.
+                        // A failover-origin CPU shard was already the
+                        // last fault domain — nothing left, shed.
+                        if shard.origin == ShardOrigin::Planned {
+                            if let Some(&to) = self.pool.placement().first() {
+                                let threshold = self.cfg.engine.breaker_threshold;
+                                let now = self.cpu.elapsed();
+                                self.cpu.breaker_mut().record_fault(threshold, now);
+                                let at_row = shard.r0 + run.rows_verified;
+                                failovers.push(FailoverEvent {
+                                    from: CPU_LANE,
+                                    to,
+                                    to_backend: BackendKind::Dsp,
+                                    at_row,
+                                    rows_salvaged: run.rows_verified,
+                                    rows_resumed: shard.r1 - at_row,
+                                });
+                                work.push_front(Shard {
+                                    cluster: to,
+                                    r0: at_row,
+                                    r1: shard.r1,
+                                    backend: BackendKind::Dsp,
+                                    origin: ShardOrigin::Failover,
+                                });
+                                rows_done += run.rows_verified;
+                                continue;
+                            }
+                        }
                         return self.shed_on_cpu_fault(tenant, nth, shard.r0 + run.rows_verified);
                     }
                     CpuLaneOutcome::Deadline { at } => {
@@ -678,6 +764,7 @@ impl ShardedEngine {
                     }
                 }
             }
+            launches += 1;
             let (mut exec, problem, dt) = match self.run_shard(ft, &splan, &job, shard, deadline) {
                 Ok(run) => run,
                 Err(error) => return ShardedOutcome::Failed { error },
@@ -753,6 +840,7 @@ impl ShardedEngine {
                         r0: shard.r0 + salvaged,
                         r1: shard.r1,
                         backend: to_backend,
+                        origin: ShardOrigin::Failover,
                     });
                 }
                 Err(e) if e.is_deadline() => {
@@ -770,12 +858,14 @@ impl ShardedEngine {
             }
         }
 
-        // Clusters overlap each other, but CPU dispatches inside this
-        // loop only ever happen *after* a cluster death (salvage
-        // remainders, rerouted shards), so the lane's busy time
-        // serialises after the cluster timeline instead of overlapping
-        // it — losing a cluster is never free.
-        let worst = busy.iter().copied().fold(0.0, f64::max) + cpu_busy;
+        // Clusters overlap each other, and a *planned* CPU shard (co-
+        // execution) overlaps them too — its lane owned the work from
+        // t=0, so the makespan is the slowest lane.  Failover CPU
+        // dispatches only ever happen *after* a cluster death (salvage
+        // remainders, rerouted shards), so their busy time serialises
+        // after the cluster timeline instead of overlapping it —
+        // losing a cluster is never free.
+        let worst = busy.iter().copied().fold(0.0, f64::max).max(cpu_peer_busy) + cpu_serial_busy;
         ShardedOutcome::Completed {
             c: std::mem::take(&mut job.c),
             report: Box::new(ShardedReport {
@@ -913,6 +1003,7 @@ impl ShardedEngine {
                 r0: 0,
                 r1: job.m,
                 backend: BackendKind::Cpu,
+                origin: ShardOrigin::Failover,
             }],
             predicted_s: predicted,
         };
@@ -994,19 +1085,23 @@ mod tests {
     /// (checkpoint spans re-anchor the kernel blocking, so a plain
     /// un-checkpointed run is not bit-comparable).
     fn single_cluster_oracle(ft: &FtImm) -> Vec<f32> {
-        let mut m = Machine::new(HwConfig::default(), ExecMode::Fast);
-        let p = GemmProblem::alloc(&mut m, M, N, K).unwrap();
-        p.a.upload(&mut m, &fill_matrix(M * K, 1)).unwrap();
-        p.b.upload(&mut m, &fill_matrix(K * N, 2)).unwrap();
-        p.c.upload(&mut m, &fill_matrix(M * N, 3)).unwrap();
-        let plan = ft.plan_full(&GemmShape::new(M, N, K), Strategy::Auto, CORES);
+        oracle_for(ft, M, N, K)
+    }
+
+    fn oracle_for(ft: &FtImm, m: usize, n: usize, k: usize) -> Vec<f32> {
+        let mut mach = Machine::new(HwConfig::default(), ExecMode::Fast);
+        let p = GemmProblem::alloc(&mut mach, m, n, k).unwrap();
+        p.a.upload(&mut mach, &fill_matrix(m * k, 1)).unwrap();
+        p.b.upload(&mut mach, &fill_matrix(k * n, 2)).unwrap();
+        p.c.upload(&mut mach, &fill_matrix(m * n, 3)).unwrap();
+        let plan = ft.plan_full(&GemmShape::new(m, n, k), Strategy::Auto, CORES);
         Executor::new(ft)
             .with_plan(plan.strategy)
             .cores(CORES)
             .resilient(test_cfg().engine.resilience)
-            .run(&mut m, &p)
+            .run(&mut mach, &p)
             .unwrap();
-        p.c.download(&mut m).unwrap()
+        p.c.download(&mut mach).unwrap()
     }
 
     fn assert_bits_eq(got: &[f32], want: &[f32]) {
@@ -1153,6 +1248,132 @@ mod tests {
         // The CPU lane replays the pinned plan's checkpointed walk, so
         // the spilled result is bitwise identical to an all-DSP run.
         assert_bits_eq(c, &single_cluster_oracle(&ft));
+    }
+
+    /// A shape the co-execution planner actually splits under the test
+    /// grid (ckpt 8, two clusters, default CPU model): tall-skinny
+    /// type-1, where Fig. 7's crossover gives the host a real tail.
+    const CM: usize = 4096;
+
+    fn coexec_job() -> ShardedJob {
+        ShardedJob::gemm(
+            CM,
+            32,
+            32,
+            fill_matrix(CM * 32, 1),
+            fill_matrix(32 * 32, 2),
+            fill_matrix(CM * 32, 3),
+            Strategy::Auto,
+            CORES,
+        )
+    }
+
+    fn coexec_oracle(ft: &FtImm) -> Vec<f32> {
+        oracle_for(ft, CM, 32, 32)
+    }
+
+    fn coexec_cfg() -> ShardedConfig {
+        ShardedConfig {
+            spill: SpillPolicy::CoExecute,
+            ..test_cfg()
+        }
+    }
+
+    #[test]
+    fn coexec_dispatches_both_backends_from_job_start_bitwise() {
+        let ft = FtImm::new(HwConfig::default());
+        let pool = ClusterPool::new(&HwConfig::default(), ExecMode::Fast, 2);
+        let mut eng = ShardedEngine::new(pool, coexec_cfg());
+        let t = eng.register_tenant(TenantSpec::new("co", 5));
+        eng.submit(t, coexec_job());
+        let records = eng.run_all(&ft);
+        let ShardedOutcome::Completed { c, report } = &records[0].outcome else {
+            panic!("expected completion, got {}", records[0].outcome.label());
+        };
+        assert!(report.failovers.is_empty());
+        // The plan itself placed a CPU tail: both backends ran as peers.
+        assert_eq!(eng.cpu_dispatches(), 1);
+        let cpu_runs: Vec<_> = report
+            .shard_runs
+            .iter()
+            .filter(|r| r.backend == dspsim::BackendKind::Cpu)
+            .collect();
+        assert_eq!(cpu_runs.len(), 1);
+        assert_eq!(cpu_runs[0].cluster, CPU_LANE);
+        assert_eq!(cpu_runs[0].r1, CM, "CPU takes the M tail");
+        assert_eq!((CM - cpu_runs[0].r0) % 8, 0, "tail starts on the grid");
+        assert!(report
+            .shard_runs
+            .iter()
+            .any(|r| r.backend == dspsim::BackendKind::Dsp));
+        // Merged C is bitwise identical to a single-cluster DSP run.
+        assert_bits_eq(c, &coexec_oracle(&ft));
+    }
+
+    #[test]
+    fn coexec_cpu_fault_demotes_the_tail_to_dsp_in_job() {
+        let ft = FtImm::new(HwConfig::default());
+        let pool = ClusterPool::new(&HwConfig::default(), ExecMode::Fast, 2);
+        let mut eng = ShardedEngine::new(pool, coexec_cfg());
+        // Kill the first CPU checkpoint span: the co-executed tail
+        // faults immediately and must demote back to the DSP pool.
+        eng.install_cpu_faults(&FaultPlan::new(7).fail_cpu(1));
+        let t = eng.register_tenant(TenantSpec::new("co", 5));
+        eng.submit(t, coexec_job());
+        let records = eng.run_all(&ft);
+        let ShardedOutcome::Completed { c, report } = &records[0].outcome else {
+            panic!("expected completion, got {}", records[0].outcome.label());
+        };
+        assert_eq!(report.failovers.len(), 1);
+        let fo = report.failovers[0];
+        assert_eq!(fo.from, CPU_LANE);
+        assert_eq!(fo.to_backend, dspsim::BackendKind::Dsp);
+        assert_eq!(fo.rows_salvaged % 8, 0);
+        // The demoted remainder completed on a cluster, bitwise intact.
+        assert_bits_eq(c, &coexec_oracle(&ft));
+        // The lane's breaker saw the fault (one strike, still closed at
+        // the default threshold).
+        assert_eq!(eng.cpu_breaker().consecutive_faults(), 1);
+    }
+
+    #[test]
+    fn open_cpu_breaker_demotes_later_plans_to_dsp_only() {
+        let ft = FtImm::new(HwConfig::default());
+        let pool = ClusterPool::new(&HwConfig::default(), ExecMode::Fast, 2);
+        let mut eng = ShardedEngine::new(
+            pool,
+            ShardedConfig {
+                engine: EngineConfig {
+                    breaker_threshold: 1,
+                    ..coexec_cfg().engine
+                },
+                ..coexec_cfg()
+            },
+        );
+        eng.install_cpu_faults(&FaultPlan::new(7).fail_cpu(1));
+        let t = eng.register_tenant(TenantSpec::new("co", 5));
+        eng.submit(t, coexec_job());
+        eng.submit(t, coexec_job());
+        let records = eng.run_all(&ft);
+        // Job 1 co-executed, faulted on the CPU, demoted in-job and
+        // tripped the breaker.
+        let ShardedOutcome::Completed { c, report } = &records[0].outcome else {
+            panic!("job 1: expected completion");
+        };
+        assert_eq!(report.failovers.len(), 1);
+        assert_bits_eq(c, &coexec_oracle(&ft));
+        assert_eq!(eng.cpu_breaker().state(), BreakerState::Open);
+        // Job 2 planned DSP-only: no new CPU dispatch, no failovers.
+        let ShardedOutcome::Completed { c, report } = &records[1].outcome else {
+            panic!("job 2: expected completion");
+        };
+        assert!(report.failovers.is_empty());
+        assert!(report
+            .shard_runs
+            .iter()
+            .all(|r| r.backend == dspsim::BackendKind::Dsp));
+        assert_eq!(eng.cpu_dispatches(), 1, "only job 1 touched the lane");
+        assert_bits_eq(c, &coexec_oracle(&ft));
     }
 
     #[test]

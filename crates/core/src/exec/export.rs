@@ -220,6 +220,23 @@ pub fn chrome_trace_json_clusters(clusters: &[(String, Vec<&Profiler>)]) -> Stri
     s
 }
 
+/// Heterogeneous Chrome trace: one process per cluster (labelled
+/// `cluster N`, recordings from the sharded engine's per-cluster
+/// profilers) plus one `cpu lane` process for the host backend's track.
+/// Under co-execution the CPU process carries compute spans from
+/// `t = 0` of its own clock — side by side with the cluster swimlanes,
+/// the split is visible as two devices working at once rather than a
+/// serial tail.
+pub fn chrome_trace_json_hetero(clusters: &[Vec<Profiler>], cpu: &Profiler) -> String {
+    let mut groups: Vec<(String, Vec<&Profiler>)> = clusters
+        .iter()
+        .enumerate()
+        .map(|(i, ps)| (format!("ftimm cluster {i}"), ps.iter().collect()))
+        .collect();
+    groups.push(("ftimm cpu lane".to_string(), vec![cpu]));
+    chrome_trace_json_clusters(&groups)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -310,6 +327,40 @@ mod tests {
         assert_eq!(events[4].get("tid").unwrap().as_u64("tid").unwrap(), 5);
         let dur = events[3].get("dur").unwrap().as_f64("dur").unwrap();
         assert!((dur - 1.0).abs() < 1e-9, "1 µs span, got {dur}");
+    }
+
+    #[test]
+    fn hetero_trace_names_cluster_and_cpu_lane_processes() {
+        let mut cl = Profiler::enabled(8);
+        cl.record(Span {
+            phase: Phase::Compute,
+            core: 0,
+            t0: 0.0,
+            t1: 2e-6,
+        });
+        let mut cpu = Profiler::enabled(8);
+        // The co-executed CPU lane is busy from t = 0 on its own clock.
+        cpu.record(Span {
+            phase: Phase::Compute,
+            core: 0,
+            t0: 0.0,
+            t1: 3e-6,
+        });
+        let text = chrome_trace_json_hetero(&[vec![cl]], &cpu);
+        assert!(text.contains("ftimm cluster 0"), "{text}");
+        assert!(text.contains("ftimm cpu lane"), "{text}");
+        let v = Parser::new(&text).parse().unwrap();
+        let events = v.get("traceEvents").unwrap().as_arr("traceEvents").unwrap();
+        // The CPU lane's span starts at ts 0 under its own pid (1).
+        let cpu_span = events
+            .iter()
+            .find(|e| {
+                e.get("pid").and_then(|p| p.as_u64("pid").ok()) == Some(1)
+                    && e.get("ph").and_then(|p| p.as_str("ph").ok()) == Some("X")
+            })
+            .expect("cpu lane span present");
+        let ts = cpu_span.get("ts").unwrap().as_f64("ts").unwrap();
+        assert_eq!(ts, 0.0);
     }
 
     #[test]

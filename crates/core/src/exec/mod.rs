@@ -34,7 +34,10 @@ mod export;
 mod profile;
 mod validate;
 
-pub use export::{chrome_trace_json, chrome_trace_json_clusters, profile_from_json, profile_json};
+pub use export::{
+    chrome_trace_json, chrome_trace_json_clusters, chrome_trace_json_hetero, profile_from_json,
+    profile_json,
+};
 pub use validate::{validate_batch_dims, validate_problem};
 
 use crate::plan::Plan;

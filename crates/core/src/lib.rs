@@ -63,7 +63,8 @@ pub use adjust::{
 };
 pub use api::{FtImm, Strategy, TuningStats};
 pub use backend::{
-    Backend, BackendPrediction, CpuBackend, CpuLaneOutcome, CpuStripeRun, DspBackend,
+    predict_cpu_stripe, Backend, BackendPrediction, CpuBackend, CpuLaneOutcome, CpuStripeRun,
+    DspBackend,
 };
 pub use batch::{BatchReport, GemmBatch};
 pub use cluster::{
@@ -75,8 +76,8 @@ pub use engine::{
 };
 pub use error::FtimmError;
 pub use exec::{
-    chrome_trace_json, chrome_trace_json_clusters, profile_from_json, profile_json,
-    validate_batch_dims, validate_problem, ExecOptions, ExecRun, Executor,
+    chrome_trace_json, chrome_trace_json_clusters, chrome_trace_json_hetero, profile_from_json,
+    profile_json, validate_batch_dims, validate_problem, ExecOptions, ExecRun, Executor,
 };
 pub use grid::{ClusterGrid, GridReport};
 pub use invoke::invoke_kernel;
@@ -84,12 +85,12 @@ pub use kpar::{run_kpar, KparBlocks};
 pub use matrix::{DdrMatrix, GemmProblem};
 pub use mpar::{run_mpar, MparBlocks};
 pub use plan::{
-    analytic_seconds, bit_signature, catalog_from_json, catalog_json, choose_strategy,
-    corrected_seconds, load_catalog, plan_from_json, plan_json, plan_sharded, ranking_agreement,
-    save_catalog, BitSignature, Calibration, CalibrationRecord, CatalogLoad, Plan, PlanCache,
-    PlanCacheStats, PlanCatalog, PlanKey, PlanOrigin, Planner, RegimeAgreement, Shard, ShardedPlan,
-    StrategyKind, TuneConfig, TuneOutcome, Tuner, DEFAULT_PLAN_CACHE_CAPACITY, PLAN_CATALOG_SCHEMA,
-    REGIMES,
+    analytic_seconds, bit_signature, catalog_from_json, catalog_json, choose_coexec_split,
+    choose_strategy, corrected_seconds, load_catalog, plan_coexec, plan_from_json, plan_json,
+    plan_sharded, ranking_agreement, save_catalog, BitSignature, Calibration, CalibrationRecord,
+    CatalogLoad, CoexecChoice, CoexecTune, Plan, PlanCache, PlanCacheStats, PlanCatalog, PlanKey,
+    PlanOrigin, Planner, RegimeAgreement, Shard, ShardOrigin, ShardedPlan, StrategyKind,
+    TuneConfig, TuneOutcome, Tuner, DEFAULT_PLAN_CACHE_CAPACITY, PLAN_CATALOG_SCHEMA, REGIMES,
 };
 pub use resilience::{
     max_abs_error_vs_oracle, run_resilient, run_resilient_full, ResilienceConfig, ResilientRun,

@@ -37,13 +37,15 @@ pub mod tune;
 pub use cache::{PlanCache, PlanCacheStats, PlanKey, DEFAULT_PLAN_CACHE_CAPACITY};
 pub use cost::{analytic_seconds, corrected_seconds};
 pub use planner::{choose_strategy, Planner};
-pub use sharded::{plan_sharded, Shard, ShardedPlan};
+pub use sharded::{
+    choose_coexec_split, plan_coexec, plan_sharded, CoexecChoice, Shard, ShardOrigin, ShardedPlan,
+};
 pub use store::{
     catalog_from_json, catalog_json, load_catalog, save_catalog, CatalogLoad, PlanCatalog,
     PLAN_CATALOG_SCHEMA,
 };
 pub use tune::{
-    bit_signature, ranking_agreement, BitSignature, Calibration, CalibrationRecord,
+    bit_signature, ranking_agreement, BitSignature, Calibration, CalibrationRecord, CoexecTune,
     RegimeAgreement, StrategyKind, TuneConfig, TuneOutcome, Tuner, REGIMES,
 };
 
@@ -125,6 +127,13 @@ pub struct Plan {
     pub candidates: u32,
     /// Timing-model simulations the planner ran to produce this plan.
     pub simulations: u32,
+    /// Co-execution hint: rows of the M *tail* the tuner planned onto
+    /// the CPU lane (`0` = no hint; `m` = all-CPU).  Consumed by
+    /// [`sharded::plan_coexec`] when the sharded engine runs under
+    /// [`crate::cluster::SpillPolicy::CoExecute`]; purely advisory —
+    /// the strategy and blocks above are untouched, so the bitwise
+    /// identity contract is independent of this field.
+    pub coexec_cpu_rows: usize,
 }
 
 impl Plan {
@@ -139,6 +148,7 @@ impl Plan {
             simulated_s: f64::INFINITY,
             candidates: 0,
             simulations: 0,
+            coexec_cpu_rows: 0,
         }
     }
 }
@@ -212,6 +222,11 @@ pub fn plan_json(plan: &Plan) -> String {
     let _ = writeln!(s, "  \"predicted_s\": {},", sec(plan.predicted_s));
     let _ = writeln!(s, "  \"simulated_s\": {},", sec(plan.simulated_s));
     let _ = writeln!(s, "  \"candidates\": {},", plan.candidates);
+    // Co-execution hints are rare; omitting the zero default keeps every
+    // pre-co-exec plan document byte-stable.
+    if plan.coexec_cpu_rows != 0 {
+        let _ = writeln!(s, "  \"coexec_cpu_rows\": {},", plan.coexec_cpu_rows);
+    }
     let _ = writeln!(s, "  \"simulations\": {}", plan.simulations);
     s.push('}');
     s
@@ -306,6 +321,11 @@ pub(crate) fn plan_from_value(value: &Value) -> Result<Plan, String> {
         simulated_s: seconds_field(value, "simulated_s")?,
         candidates: field_usize(value, "candidates")? as u32,
         simulations: field_usize(value, "simulations")? as u32,
+        // Optional for backward compatibility with pre-co-exec documents.
+        coexec_cpu_rows: match value.get("coexec_cpu_rows") {
+            Some(v) => v.as_u64("coexec_cpu_rows")? as usize,
+            None => 0,
+        },
     };
     Ok(plan)
 }
@@ -324,6 +344,7 @@ mod tests {
             simulated_s: 1.5e-3,
             candidates: 9,
             simulations: 4,
+            coexec_cpu_rows: 0,
         }
     }
 
@@ -354,6 +375,24 @@ mod tests {
             assert_eq!(back, plan, "{text}");
             assert_eq!(plan_json(&back), text);
         }
+    }
+
+    #[test]
+    fn coexec_hint_round_trips_and_zero_stays_byte_stable() {
+        // A multi-backend plan carries its CPU-tail hint through the codec.
+        let mut plan = sample(ChosenStrategy::TGemm);
+        plan.coexec_cpu_rows = 1024;
+        let text = plan_json(&plan);
+        assert!(text.contains("\"coexec_cpu_rows\": 1024"), "{text}");
+        let back = plan_from_json(&text).unwrap();
+        assert_eq!(back, plan);
+        assert_eq!(plan_json(&back), text);
+        // The zero default is omitted, so pre-co-exec documents (which
+        // lack the key entirely) parse to the same bytes they came from.
+        let plain = sample(ChosenStrategy::TGemm);
+        let text = plan_json(&plain);
+        assert!(!text.contains("coexec_cpu_rows"), "{text}");
+        assert_eq!(plan_from_json(&text).unwrap(), plain);
     }
 
     #[test]

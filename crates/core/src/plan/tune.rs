@@ -377,6 +377,39 @@ impl SplitMix64 {
     }
 }
 
+/// Co-execution context for a tuning run: the CPU lane and placement
+/// the tuned plan will be dispatched against.  When present,
+/// [`crate::FtImm::tune`] searches the CPU/DSP split fraction with
+/// [`super::choose_coexec_split`] and stamps the winning M tail into
+/// [`super::Plan::coexec_cpu_rows`] — the first *non-blocking* tuning
+/// dimension: the split moves work between devices on the checkpoint
+/// grid without touching the strategy's blocks, so adoption is never
+/// gated on a [`BitSignature`] comparison (there is nothing to gate —
+/// the accumulation order per row is unchanged by construction).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoexecTune {
+    /// CPU model of the co-execution lane.
+    pub cpu: cpublas::CpuConfig,
+    /// Lane-health slowdown the split is searched under (1.0 = nominal).
+    pub slowdown: f64,
+    /// Checkpoint grain (`ckpt_rows`) the dispatching engine will use —
+    /// split boundaries are quantised to it.
+    pub grain_rows: usize,
+    /// Usable DSP clusters the DSP side of the split spans.
+    pub clusters: usize,
+}
+
+impl Default for CoexecTune {
+    fn default() -> Self {
+        CoexecTune {
+            cpu: cpublas::CpuConfig::default(),
+            slowdown: 1.0,
+            grain_rows: 64,
+            clusters: 4,
+        }
+    }
+}
+
 /// Knobs of one tuning run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TuneConfig {
@@ -393,6 +426,9 @@ pub struct TuneConfig {
     /// Seed of the random-probe stream (tuning is deterministic per
     /// seed).
     pub seed: u64,
+    /// Also search the CPU/DSP co-execution split for this lane/pool
+    /// (`None` = DSP-only tuning, the pre-co-exec behaviour).
+    pub coexec: Option<CoexecTune>,
 }
 
 impl Default for TuneConfig {
@@ -403,6 +439,7 @@ impl Default for TuneConfig {
             neighborhood: 4,
             explore: true,
             seed: 0x5EED_CAFE,
+            coexec: None,
         }
     }
 }
@@ -748,6 +785,7 @@ impl<'a> Tuner<'a> {
             simulated_s: best.1,
             candidates: default_plan.candidates + variants.len() as u32,
             simulations: sims,
+            coexec_cpu_rows: 0,
         };
         TuneOutcome {
             plan,

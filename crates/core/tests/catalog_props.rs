@@ -137,6 +137,7 @@ fn build_catalog(specs: Vec<EntrySpec>, records: Vec<CalibrationRecord>) -> Plan
                 simulated_s: secs.1,
                 candidates: counts.0,
                 simulations: counts.1,
+                coexec_cpu_rows: 0,
             };
             (key, plan)
         })

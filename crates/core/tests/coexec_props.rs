@@ -1,0 +1,149 @@
+//! Property tests over the co-execution split chooser
+//! ([`ftimm::choose_coexec_split`]) and the co-execution planner
+//! ([`ftimm::plan_coexec`]).
+//!
+//! The invariants, over arbitrary shapes, grain sizes, cluster counts
+//! and CPU lane health:
+//!
+//! 1. The chooser is a pure function: the same inputs give the
+//!    identical [`ftimm::CoexecChoice`], bit-for-bit.
+//! 2. The chosen split respects the checkpoint grid: `cpu_rows` is 0,
+//!    `m`, or leaves a DSP prefix that is a whole number of grains —
+//!    anything else would break the sharded bitwise-identity contract.
+//! 3. The chosen split is never predicted slower than the best single
+//!    backend (both degenerate candidates are always in the search
+//!    grid, so this holds by construction — the property pins it).
+//! 4. Dominance degenerates cleanly: a crippled CPU lane gets zero
+//!    rows; a lane that is effectively free takes everything.
+//! 5. [`ftimm::plan_coexec`] always emits shards tiling `[0, m)`
+//!    contiguously with at most one CPU tail, and agrees with the
+//!    chooser's `cpu_rows`.
+
+use cpublas::CpuConfig;
+use dspsim::{BackendKind, HwConfig};
+use ftimm::{FtImm, GemmShape, ShardOrigin, Strategy};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// Shared planner so the plan cache stays hot across generated cases.
+fn ft() -> &'static FtImm {
+    static FT: OnceLock<FtImm> = OnceLock::new();
+    FT.get_or_init(|| FtImm::new(HwConfig::default()))
+}
+
+/// Checkpoint grains exercised (0 = checkpointing off, no grid).
+const GRAINS: [usize; 7] = [0, 1, 4, 8, 16, 33, 64];
+
+/// CPU lane health factors spanning healthy → degraded.
+const SLOWDOWNS: [f64; 3] = [1.0, 2.5, 8.0];
+
+/// Host models either side of the Fig. 7 crossover.
+fn cpu_cfg(sel: usize) -> CpuConfig {
+    match sel {
+        0 => CpuConfig::default(),
+        1 => CpuConfig {
+            clock_hz: 8.8e9,
+            ..CpuConfig::default()
+        },
+        _ => CpuConfig {
+            clock_hz: 2.2e12,
+            ddr_bw: 42.6e12,
+            barrier_s: 8e-9,
+            ..CpuConfig::default()
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn chooser_is_deterministic_grid_respecting_and_never_regresses(
+        m in 1usize..4096,
+        n in 1usize..64,
+        k in 1usize..64,
+        cores in 1usize..8,
+        clusters in 1usize..4,
+        grain_sel in 0usize..7,
+        cpu_sel in 0usize..3,
+        slow_sel in 0usize..3,
+    ) {
+        let grain = GRAINS[grain_sel];
+        let shape = GemmShape::new(m, n, k);
+        let cpu = cpu_cfg(cpu_sel);
+        let slowdown = SLOWDOWNS[slow_sel];
+        let a = ftimm::choose_coexec_split(
+            ft(), &shape, Strategy::Auto, cores, clusters, grain, &cpu, slowdown,
+        );
+        let b = ftimm::choose_coexec_split(
+            ft(), &shape, Strategy::Auto, cores, clusters, grain, &cpu, slowdown,
+        );
+
+        // 1. Pure function of its inputs.
+        prop_assert_eq!(a.cpu_rows, b.cpu_rows);
+        prop_assert_eq!(a.predicted_s.to_bits(), b.predicted_s.to_bits());
+        prop_assert_eq!(a.dsp_only_s.to_bits(), b.dsp_only_s.to_bits());
+        prop_assert_eq!(a.cpu_only_s.to_bits(), b.cpu_only_s.to_bits());
+
+        // 2. Split sits on the checkpoint grid (or is degenerate); no
+        // grid at all (grain 0) permits only the degenerate picks.
+        prop_assert!(a.cpu_rows <= m);
+        if a.cpu_rows != 0 && a.cpu_rows != m {
+            prop_assert!(grain > 0, "mid-M split without a checkpoint grid");
+            prop_assert_eq!((m - a.cpu_rows) % grain, 0, "split off the grid");
+        }
+
+        // 3. Never predicted slower than the best single backend.
+        prop_assert!(a.predicted_s <= a.dsp_only_s, "{:?}", a);
+        prop_assert!(a.predicted_s <= a.cpu_only_s, "{:?}", a);
+        prop_assert!(a.predicted_s.is_finite());
+
+        // 5. The planner realises exactly the chooser's split.
+        let placement: Vec<usize> = (0..clusters).collect();
+        let sp = ftimm::plan_coexec(
+            ft(), &shape, Strategy::Auto, cores, &placement, grain, &cpu, slowdown,
+        );
+        prop_assert_eq!(sp.shards.first().unwrap().r0, 0);
+        prop_assert_eq!(sp.shards.last().unwrap().r1, m);
+        for w in sp.shards.windows(2) {
+            prop_assert_eq!(w[0].r1, w[1].r0, "shards must be contiguous");
+        }
+        let cpu_shards: Vec<_> = sp
+            .shards
+            .iter()
+            .filter(|s| s.backend == BackendKind::Cpu)
+            .collect();
+        prop_assert!(cpu_shards.len() <= 1, "at most one planned CPU tail");
+        let planned_cpu_rows: usize = cpu_shards.iter().map(|s| s.rows()).sum();
+        prop_assert_eq!(planned_cpu_rows, a.cpu_rows);
+        for s in &sp.shards {
+            prop_assert_eq!(s.origin, ShardOrigin::Planned);
+        }
+    }
+
+    #[test]
+    fn dominance_degenerates_to_a_single_backend(
+        m in 64usize..4096,
+        n in 1usize..64,
+        k in 1usize..64,
+        cores in 1usize..8,
+        clusters in 1usize..4,
+        grain_sel in 0usize..5,
+    ) {
+        let grain = GRAINS[grain_sel + 2];
+        let shape = GemmShape::new(m, n, k);
+        // 4a. A lane a billion times slower never gets rows.
+        let crippled = ftimm::choose_coexec_split(
+            ft(), &shape, Strategy::Auto, cores, clusters, grain,
+            &CpuConfig::default(), 1e9,
+        );
+        prop_assert_eq!(crippled.cpu_rows, 0);
+        // 4b. A lane a billion times faster takes the whole GEMM (its
+        // only floor is the one launch both sides pay anyway).
+        let free = ftimm::choose_coexec_split(
+            ft(), &shape, Strategy::Auto, cores, clusters, grain,
+            &CpuConfig::default(), 1e-9,
+        );
+        prop_assert_eq!(free.cpu_rows, m);
+    }
+}

@@ -46,7 +46,8 @@ fn policy(sel: usize) -> SpillPolicy {
     match sel {
         0 => SpillPolicy::Never,
         1 => SpillPolicy::LastResort,
-        _ => SpillPolicy::DeadlineAware,
+        2 => SpillPolicy::DeadlineAware,
+        _ => SpillPolicy::CoExecute,
     }
 }
 
@@ -84,7 +85,7 @@ proptest! {
     #[test]
     fn every_job_reaches_exactly_one_terminal_outcome(
         clusters in 1usize..4,
-        policy_sel in 0usize..3,
+        policy_sel in 0usize..4,
         jobs in prop::collection::vec((0u8..3, 0usize..3), 1..6),
         kills in prop::collection::vec((0usize..4, 0usize..4), 0..4),
         cpu_fault_nth in 0u64..4,
